@@ -1,0 +1,36 @@
+"""Shared fixtures of the benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark module maps
+to one experiment of DESIGN.md's experiment index (E1..E8) and prints the
+rows/series the corresponding paper artefact reports, in addition to the
+pytest-benchmark timing of the regeneration itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lut import LookupTable
+from repro.multipliers import library
+
+
+@pytest.fixture(scope="session")
+def exact_lut():
+    """Signed exact 8-bit LUT shared across benchmarks."""
+    return LookupTable.from_multiplier(library.create("mul8s_exact"))
+
+
+@pytest.fixture(scope="session")
+def mitchell_lut():
+    """Signed Mitchell LUT shared across benchmarks."""
+    return LookupTable.from_multiplier(library.create("mul8s_mitchell"))
+
+
+@pytest.fixture(scope="session")
+def conv_case():
+    """A mid-sized convolution case used by the engine micro-benchmarks."""
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(4, 16, 16, 8))
+    filters = rng.normal(size=(3, 3, 8, 16))
+    return inputs, filters

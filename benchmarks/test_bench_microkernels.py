@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the emulation hot paths.
+
+These do not correspond to a specific paper artefact; they document where the
+pure-Python emulation spends its time (quantisation, im2col, LUT GEMM) so the
+Fig. 2 style attribution of the *host* implementation can be sanity-checked
+against the analytical models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conv import im2col_quantized, lut_matmul
+from repro.quantization import compute_coeffs_from_tensor
+
+
+@pytest.fixture(scope="module")
+def activations():
+    rng = np.random.default_rng(5)
+    return rng.normal(size=(8, 32, 32, 16))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_quantize_batch(benchmark, activations):
+    params = compute_coeffs_from_tensor(activations)
+    out = benchmark(params.quantize, activations)
+    assert out.min() >= -128 and out.max() <= 127
+
+
+@pytest.mark.benchmark(group="micro")
+def test_dequantize_batch(benchmark, activations):
+    params = compute_coeffs_from_tensor(activations)
+    quantized = params.quantize(activations)
+    out = benchmark(params.dequantize, quantized)
+    assert out.shape == activations.shape
+
+
+@pytest.mark.benchmark(group="micro")
+def test_im2col_quantized(benchmark, activations):
+    params = compute_coeffs_from_tensor(activations)
+    patches, sums, _ = benchmark(im2col_quantized, activations, 3, 3, params)
+    assert patches.shape[1] == 9 * 16
+    assert sums.shape[0] == patches.shape[0]
+
+
+@pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("filters", [16, 64])
+def test_lut_gemm(benchmark, exact_lut, filters):
+    rng = np.random.default_rng(9)
+    patches = rng.integers(-128, 128, size=(1024, 144))
+    weights = rng.integers(-128, 128, size=(144, filters))
+    acc = benchmark(lut_matmul, patches, weights, exact_lut)
+    assert acc.shape == (1024, filters)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_float_gemm_reference(benchmark):
+    """The accurate float GEMM the LUT path is compared against."""
+    rng = np.random.default_rng(9)
+    patches = rng.normal(size=(1024, 144))
+    weights = rng.normal(size=(144, 64))
+    out = benchmark(np.matmul, patches, weights)
+    assert out.shape == (1024, 64)

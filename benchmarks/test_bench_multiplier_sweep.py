@@ -1,0 +1,53 @@
+"""E8 (extension) -- sweeping the approximate multiplier library.
+
+The intended use of TFApprox is design-space exploration: evaluate many
+candidate multipliers quickly and pick the best error/efficiency trade-off.
+This benchmark measures the two per-candidate costs of that loop: building
+the 256x256 LUT from a behavioural model and characterising its arithmetic
+error, and then prints the error table for the whole shipped catalogue
+(the series a designer would plot accuracy against).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lut import LookupTable
+from repro.multipliers import error_report, library
+
+SWEEP = ["mul8s_exact", "mul8s_trunc2", "mul8s_bam_v5", "mul8s_mitchell",
+         "mul8s_drum4", "mul8s_udm", "mul8s_noise64"]
+
+
+@pytest.mark.benchmark(group="multiplier-sweep")
+@pytest.mark.parametrize("name", SWEEP)
+def test_lut_construction_cost(benchmark, name):
+    """Time to materialise one candidate's 256x256 lookup table."""
+    multiplier = library.create(name)
+    lut = benchmark(LookupTable.from_multiplier, multiplier)
+    assert lut.nbytes == 128 * 1024
+
+
+@pytest.mark.benchmark(group="multiplier-sweep")
+def test_error_characterisation_cost(benchmark):
+    """Time to compute the standard error metrics of one candidate."""
+    multiplier = library.create("mul8s_drum4")
+    report = benchmark(error_report, multiplier)
+    assert report.mean_relative_error > 0.0
+
+
+def test_print_error_catalogue():
+    """Print the error metrics of every signed multiplier in the library."""
+    print("\nname                      EP      MAE       WCE     MRE")
+    rows = []
+    for name in library.available():
+        if not name.startswith("mul8s"):
+            continue
+        report = error_report(library.create(name))
+        rows.append((report.mean_absolute_error, name, report))
+    for _, name, report in sorted(rows):
+        print(f"{name:<24} {report.error_probability:>6.3f} "
+              f"{report.mean_absolute_error:>8.2f} {report.worst_case_error:>9d} "
+              f"{report.mean_relative_error:>7.2%}")
+    # the exact multiplier must come first in the MAE ordering
+    assert sorted(rows)[0][1] == "mul8s_exact"

@@ -1,0 +1,60 @@
+"""E1 -- Table I: CIFAR-10 processing time, accurate vs approximate, CPU vs GPU.
+
+Regenerates every row of Table I from the analytical timing models and checks
+the headline shape claims (linearity in MACs, ~200x GPU-vs-CPU speed-up for
+the emulated approximate layers at ResNet-62, monotone growth of the
+speed-up with depth).  The regenerated table and the paper's reference
+numbers are printed so the run doubles as the EXPERIMENTS.md data source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    PAPER_TABLE1,
+    compare_row_with_paper,
+    format_table1,
+    generate_table1,
+)
+from repro.models import PAPER_DEPTHS
+
+
+@pytest.mark.benchmark(group="table1")
+def test_generate_full_table1(benchmark):
+    """Time the full Table I regeneration (all ten ResNets, 10 000 images)."""
+    rows = benchmark(generate_table1)
+    assert len(rows) == len(PAPER_DEPTHS)
+
+    print("\n" + format_table1(rows))
+    print("\nPaper-vs-regenerated per-row comparison:")
+    for row in rows:
+        cmp = compare_row_with_paper(row)
+        print(
+            f"  {cmp['model']:<10} "
+            f"speedup(acc) {cmp['speedup_accurate_paper']:>5.1f}x paper / "
+            f"{cmp['speedup_accurate_ours']:>5.1f}x ours   "
+            f"speedup(approx) {cmp['speedup_approximate_paper']:>6.1f}x paper / "
+            f"{cmp['speedup_approximate_ours']:>6.1f}x ours"
+        )
+
+    by_depth = {row.depth: row for row in rows}
+    # Shape checks mirroring the paper's claims.
+    assert 150 < by_depth[62].speedup_approximate < 280
+    speedups = [by_depth[d].speedup_approximate for d in PAPER_DEPTHS]
+    assert speedups == sorted(speedups)
+    assert by_depth[62].cpu_approximate.compute > \
+        100 * by_depth[62].cpu_accurate.compute
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("depth", [8, 32, 62])
+def test_single_row_generation(benchmark, depth):
+    """Per-network regeneration cost (scales with the layer count)."""
+    rows = benchmark(generate_table1, depths=(depth,))
+    assert rows[0].depth == depth
+
+
+def test_paper_reference_is_complete():
+    """The stored paper table covers every depth the harness sweeps."""
+    assert [row.depth for row in PAPER_TABLE1] == list(PAPER_DEPTHS)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Peek inside the simulated CUDA implementation of the approximate convolution.
+
+Runs one convolution layer through the simulated GPU device (Algorithm 1:
+the Im2Cols kernel with its prefix-scan patch sums, then the tiled LUT GEMM
+kernel fetching products through the texture object), prints the kernel
+launches and memory traffic the device recorded, and replays the LUT fetch
+stream through the texture-cache model to show why texture memory is a good
+home for the 128 kB multiplier table.
+
+Run:  python examples/gpu_emulation_demo.py [--multiplier mul8s_drum4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.conv import approx_conv2d, flatten_filters, im2col_quantized
+from repro.gpusim import GPUConvolutionEngine, GPUConvRunReport
+from repro.lut import LookupTable, TextureCacheModel
+from repro.multipliers import library
+from repro.quantization import compute_coeffs_from_tensor
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--multiplier", default="mul8s_drum4",
+                        choices=library.available())
+    parser.add_argument("--batch", type=int, default=4)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(0)
+    inputs = np.maximum(rng.normal(size=(args.batch, 16, 16, 8)), 0.0)
+    filters = rng.normal(size=(3, 3, 8, 16))
+    lut = LookupTable.from_multiplier(library.create(args.multiplier))
+
+    print(f"== Simulated GPU emulation of one AxConv2D layer ({lut.name}) ==\n")
+    print(f"LUT: {lut!r}\n")
+
+    engine = GPUConvolutionEngine(chunk_size=2)
+    report = GPUConvRunReport()
+    gpu_out = engine.approx_conv2d(inputs, filters, lut, report=report)
+
+    host_out = approx_conv2d(inputs, filters, lut, chunk_size=2)
+    assert np.allclose(gpu_out, host_out), "device and host engines diverged"
+
+    counters = engine.device.counters
+    print("Kernel launches (Algorithm 1, one Im2Cols + one ApproxGEMM per chunk):")
+    for launch in counters.launches:
+        print(f"  {launch.name:<12} grid={launch.grid} block={launch.block} "
+              f"shared={launch.shared_memory_bytes} B")
+    print(f"\nDevice counters over {report.chunks} chunks:")
+    print(f"  texture fetches (LUT lookups) : {counters.texture_fetches:,}")
+    print(f"  atomicAdd operations on Sp    : {counters.atomic_adds:,}")
+    print(f"  global memory read            : {counters.global_bytes_read:,} B")
+    print(f"  global memory written         : {counters.global_bytes_written:,} B")
+    print(f"  shared memory traffic         : {counters.shared_bytes_traffic:,} B")
+
+    # Texture-cache behaviour of the LUT fetch stream of the first chunk.
+    iq = compute_coeffs_from_tensor(inputs)
+    fq = compute_coeffs_from_tensor(filters)
+    patches, _, _ = im2col_quantized(inputs[:2], 3, 3, iq)
+    flat = flatten_filters(fq.quantize(filters).astype(np.int64))
+    stream = lut.stitch_index(patches[:, :, None], flat[None, :, :]).reshape(-1)
+    print("\nTexture-cache hit rate of the LUT fetch stream "
+          "(48 kB per-SM cache, LRU model):")
+    for cache_kb in (16, 48, 128):
+        cache = TextureCacheModel(size_bytes=cache_kb * 1024)
+        rate = cache.replay(stream, limit=30_000)
+        print(f"  {cache_kb:>4} kB cache -> {rate:6.1%} hits")
+    print("\nQuantised DNN activations cluster around zero, so the hot region"
+          "\nof the 128 kB table fits the texture cache and most lookups hit --"
+          "\nthe effect the paper exploits with tex1Dfetch.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

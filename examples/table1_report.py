@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Regenerate Table I and Fig. 2 of the paper from the analytical timing models.
+
+The ten CIFAR ResNets are swept, the accurate and approximate inference times
+on the modelled CPU (Xeon E5-2620-like) and GPU (GTX 1080-like) are computed
+for 10 000 CIFAR-sized images, and the resulting table plus the Fig. 2 phase
+breakdown are printed next to the numbers published in the paper.
+
+Run:  python examples/table1_report.py [--images 10000] [--fig2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import (
+    PAPER_FIG2,
+    compare_row_with_paper,
+    format_fig2,
+    format_table1,
+    generate_fig2,
+    generate_table1,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--images", type=int, default=10_000,
+                        help="number of processed images (paper: 10000)")
+    parser.add_argument("--fig2", action="store_true",
+                        help="also print the Fig. 2 phase breakdown")
+    args = parser.parse_args()
+
+    rows = generate_table1(images=args.images)
+    print("== Table I (regenerated) ==\n")
+    print(format_table1(rows))
+
+    print("\n== Paper-vs-regenerated summary ==")
+    for row in rows:
+        cmp = compare_row_with_paper(row)
+        print(
+            f"  {cmp['model']:<10} approx. speed-up "
+            f"{cmp['speedup_approximate_ours']:>6.1f}x (paper "
+            f"{cmp['speedup_approximate_paper']:>6.1f}x)   "
+            f"GPU approx. total {cmp['gpu_approx_total_ours']:>6.1f}s (paper "
+            f"{cmp['gpu_approx_total_paper']:>5.1f}s)"
+        )
+
+    if args.fig2:
+        print("\n== Fig. 2 (regenerated) ==\n")
+        print(format_fig2(generate_fig2(images=args.images)))
+        print("\n== Fig. 2 (paper) ==\n")
+        print(format_fig2(PAPER_FIG2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` normally builds an editable wheel via PEP 517; the
+offline environment used for this reproduction lacks the ``wheel`` package,
+so this shim keeps ``python setup.py develop`` working as a fallback.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""TFApprox reproduction: fast emulation of DNN approximate hardware accelerators.
+
+This package reproduces the system described in "TFApprox: Towards a Fast
+Emulation of DNN Approximate Hardware Accelerators on GPU" (DATE 2020) as a
+self-contained Python library:
+
+* :mod:`repro.multipliers` -- behavioural models and truth tables of
+  approximate 8-bit multipliers;
+* :mod:`repro.lut` -- the lookup-table / texture-memory emulation of those
+  multipliers;
+* :mod:`repro.quantization` -- the affine quantisation scheme of Eq. 1;
+* :mod:`repro.conv` -- the approximate convolution engines (direct loop and
+  the GEMM-based Algorithm 1);
+* :mod:`repro.graph` -- a small dataflow-graph framework plus the Fig. 1
+  transformation replacing ``Conv2D`` with ``AxConv2D``;
+* :mod:`repro.gpusim` / :mod:`repro.cpusim` -- simulated GPU/CPU devices and
+  the analytical timing models behind Table I and Fig. 2;
+* :mod:`repro.models`, :mod:`repro.datasets`, :mod:`repro.evaluation` -- the
+  CIFAR ResNets, a synthetic CIFAR-10 stand-in and the experiment harness.
+"""
+
+from . import (
+    conv,
+    cpusim,
+    datasets,
+    evaluation,
+    graph,
+    gpusim,
+    lut,
+    models,
+    multipliers,
+    quantization,
+)
+from .errors import TFApproxError
+from .hwspec import CPUSpec, GPUSpec, GTX_1080, PAPER_SYSTEM, SystemSpec, XEON_E5_2620
+from .workload import ConvWorkload, WorkloadTotals, total_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TFApproxError",
+    "CPUSpec",
+    "GPUSpec",
+    "SystemSpec",
+    "GTX_1080",
+    "XEON_E5_2620",
+    "PAPER_SYSTEM",
+    "ConvWorkload",
+    "WorkloadTotals",
+    "total_workload",
+    "multipliers",
+    "lut",
+    "quantization",
+    "conv",
+    "graph",
+    "gpusim",
+    "cpusim",
+    "models",
+    "datasets",
+    "evaluation",
+]

@@ -1,0 +1,40 @@
+"""Convolution engines: geometry, im2col, GEMM and the Algorithm 1 pipeline."""
+
+from .approx_conv2d import (
+    ApproxConvStats,
+    DEFAULT_CHUNK_SIZE,
+    approx_conv2d,
+    resolve_quant_params,
+    split_chunks,
+)
+from .gemm import approx_gemm, dequantize_gemm, gemm_float, lut_matmul
+from .im2col import filter_sums, flatten_filters, im2col, im2col_quantized
+from .padding import ConvGeometry, resolve_geometry
+from .reference import (
+    approx_conv2d_direct,
+    conv2d_direct,
+    conv2d_float,
+    fake_quant_conv2d,
+)
+
+__all__ = [
+    "ApproxConvStats",
+    "DEFAULT_CHUNK_SIZE",
+    "approx_conv2d",
+    "resolve_quant_params",
+    "split_chunks",
+    "approx_gemm",
+    "dequantize_gemm",
+    "gemm_float",
+    "lut_matmul",
+    "im2col",
+    "im2col_quantized",
+    "flatten_filters",
+    "filter_sums",
+    "ConvGeometry",
+    "resolve_geometry",
+    "conv2d_float",
+    "conv2d_direct",
+    "approx_conv2d_direct",
+    "fake_quant_conv2d",
+]

@@ -1,0 +1,224 @@
+"""Algorithm 1: the chunked approximate 2D convolution.
+
+This module is the heart of the emulator.  :func:`approx_conv2d` follows the
+high-level structure of Algorithm 1 in the paper:
+
+1. ``ComputeCoeffs`` -- derive the affine quantisation coefficients of the
+   input batch and of the filter bank from their (min, max) ranges;
+2. compute the per-filter sums ``Sf`` (third sum of Eq. 4);
+3. split the input batch into chunks of a constant size "to decouple memory
+   usage from convolution parameters";
+4. for each chunk, run ``Im2Cols`` (patch matrix ``Mp`` + patch sums ``Sp``)
+   and ``ApproxGEMM`` (LUT-based integer GEMM followed by the Eq. 4
+   correction and dequantisation);
+5. append the chunk output to the output batch.
+
+The function is pure NumPy and engine-agnostic; the simulated CPU/GPU
+devices reuse the same building blocks but additionally account for the time
+and memory traffic each phase would cost on the modelled hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..lut.table import LookupTable
+from ..quantization.affine import (
+    IntegerRange,
+    QuantParams,
+    SIGNED_8BIT,
+    compute_coeffs,
+)
+from ..quantization.ranges import TensorRange
+from ..quantization.rounding import RoundMode
+from .im2col import filter_sums, flatten_filters, im2col_quantized
+from .gemm import approx_gemm
+
+
+#: Default number of images processed per chunk; mirrors the constant chunk
+#: size used by the CUDA implementation to bound the patch-matrix footprint.
+DEFAULT_CHUNK_SIZE = 32
+
+
+@dataclass
+class ApproxConvStats:
+    """Operation counts collected while running the approximate convolution.
+
+    The simulated devices convert these counts into time; keeping them with
+    the functional code means every engine reports identical work regardless
+    of how it is scheduled.
+    """
+
+    lut_lookups: int = 0
+    quantized_values: int = 0
+    dequantized_values: int = 0
+    patch_matrix_bytes: int = 0
+    output_values: int = 0
+    chunks: int = 0
+    macs: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "ApproxConvStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.lut_lookups += other.lut_lookups
+        self.quantized_values += other.quantized_values
+        self.dequantized_values += other.dequantized_values
+        self.patch_matrix_bytes += other.patch_matrix_bytes
+        self.output_values += other.output_values
+        self.chunks += other.chunks
+        self.macs += other.macs
+
+
+def resolve_quant_params(values: np.ndarray | None,
+                         value_range: TensorRange | tuple[float, float] | None,
+                         qrange: IntegerRange,
+                         round_mode: RoundMode | str) -> QuantParams:
+    """Derive quantisation parameters from an explicit range or from data.
+
+    The transformed graph provides the ranges through its Min/Max nodes; when
+    they are absent (direct functional use) the range is taken from the data
+    itself, which matches the "computed independently for each input vector"
+    behaviour described in Section II.
+    """
+    if value_range is not None:
+        if isinstance(value_range, TensorRange):
+            lo, hi = value_range.as_tuple()
+        else:
+            lo, hi = float(value_range[0]), float(value_range[1])
+    else:
+        if values is None or values.size == 0:
+            raise ConfigurationError(
+                "either an explicit range or a non-empty tensor is required"
+            )
+        lo, hi = float(values.min()), float(values.max())
+    return compute_coeffs(lo, hi, qrange=qrange, round_mode=round_mode)
+
+
+def split_chunks(batch: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split a batch of ``batch`` images into ``[start, stop)`` chunks."""
+    if chunk_size <= 0:
+        raise ConfigurationError("chunk_size must be positive")
+    return [(start, min(start + chunk_size, batch))
+            for start in range(0, batch, chunk_size)]
+
+
+def approx_conv2d(inputs: np.ndarray, filters: np.ndarray, lut: LookupTable, *,
+                  strides=(1, 1), dilations=(1, 1), padding: str = "SAME",
+                  input_range: TensorRange | tuple[float, float] | None = None,
+                  filter_range: TensorRange | tuple[float, float] | None = None,
+                  qrange: IntegerRange = SIGNED_8BIT,
+                  round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                  chunk_size: int = DEFAULT_CHUNK_SIZE,
+                  accumulator_bits: int | None = None,
+                  saturate: bool = False,
+                  stats: ApproxConvStats | None = None) -> np.ndarray:
+    """Approximate 2D convolution emulating a LUT-multiplier accelerator.
+
+    Parameters
+    ----------
+    inputs:
+        NHWC float batch.
+    filters:
+        HWCK float filter bank.
+    lut:
+        Lookup table of the approximate multiplier used by the emulated MAC
+        units.  The table's signedness must match ``qrange``.
+    strides, dilations, padding:
+        Standard convolution geometry parameters.
+    input_range, filter_range:
+        Optional pre-computed (min, max) ranges -- the four extra scalar
+        inputs of the ``AxConv2D`` op.  When omitted they are derived from
+        the data, as the transformed graph's Min/Max nodes would do.
+    qrange:
+        Quantised integer range ([-128, 127] for signed multipliers,
+        [0, 255] for unsigned ones).
+    round_mode:
+        Rounding applied during quantisation.
+    chunk_size:
+        Number of images converted to the patch matrix at a time.
+    accumulator_bits, saturate:
+        Optional finite-accumulator model (see :func:`repro.conv.gemm.lut_matmul`).
+    stats:
+        Optional :class:`ApproxConvStats` accumulating operation counts.
+
+    Returns
+    -------
+    numpy.ndarray
+        NHWC float output with the same range semantics as an accurate
+        convolution of the same operands.
+    """
+    if inputs.ndim != 4:
+        raise ShapeError(f"inputs must be NHWC (4D), got shape {inputs.shape}")
+    if filters.ndim != 4:
+        raise ShapeError(f"filters must be HWCK (4D), got shape {filters.shape}")
+    if inputs.shape[3] != filters.shape[2]:
+        raise ShapeError(
+            f"channel mismatch: inputs have {inputs.shape[3]} channels, "
+            f"filters expect {filters.shape[2]}"
+        )
+    if qrange.signed != lut.signed:
+        raise ConfigurationError(
+            f"quantised range signedness ({qrange.signed}) does not match the "
+            f"lookup table ({lut.signed})"
+        )
+
+    batch = inputs.shape[0]
+    kh, kw, _, count = filters.shape
+
+    # --- ComputeCoeffs (input batch and filters) -----------------------
+    input_q = resolve_quant_params(inputs, input_range, qrange, round_mode)
+    filter_q = resolve_quant_params(filters, filter_range, qrange, round_mode)
+
+    # --- Filter-only sum Sf --------------------------------------------
+    q_filters = filter_q.quantize(filters)
+    flat_filters = flatten_filters(q_filters.astype(np.int64))
+    sf = filter_sums(flat_filters)
+
+    local_stats = stats if stats is not None else ApproxConvStats()
+    local_stats.quantized_values += int(q_filters.size)
+
+    # --- Chunked Im2Cols + ApproxGEMM ----------------------------------
+    outputs = []
+    geometry = None
+    for start, stop in split_chunks(batch, chunk_size):
+        chunk = inputs[start:stop]
+        patches, patch_sums, geometry = im2col_quantized(
+            chunk, kh, kw, input_q,
+            strides=strides, dilations=dilations, padding=padding,
+        )
+        chunk_out = approx_gemm(
+            patches, patch_sums, flat_filters, sf, input_q, filter_q, lut,
+            accumulator_bits=accumulator_bits, saturate=saturate,
+        )
+        outputs.append(
+            chunk_out.reshape(
+                stop - start, geometry.output_height, geometry.output_width, count
+            )
+        )
+        local_stats.chunks += 1
+        local_stats.quantized_values += int(chunk.size)
+        local_stats.lut_lookups += int(patches.shape[0]) * int(patches.shape[1]) * count
+        local_stats.macs += int(patches.shape[0]) * int(patches.shape[1]) * count
+        local_stats.patch_matrix_bytes += int(patches.size)  # one byte per value
+        local_stats.dequantized_values += int(chunk_out.size)
+        local_stats.output_values += int(chunk_out.size)
+
+    return np.concatenate(outputs, axis=0)
+
+
+def accurate_conv2d_reference(inputs: np.ndarray, filters: np.ndarray, *,
+                              strides=(1, 1), dilations=(1, 1),
+                              padding: str = "SAME") -> np.ndarray:
+    """Convenience alias for the accurate float convolution.
+
+    Provided so user code can switch between the accurate and approximate
+    engines by swapping a single callable.
+    """
+    from .reference import conv2d_float
+
+    return conv2d_float(
+        inputs, filters, strides=strides, dilations=dilations, padding=padding,
+    )

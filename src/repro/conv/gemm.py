@@ -1,0 +1,166 @@
+"""Matrix-multiplication kernels of the convolution engines.
+
+Two GEMM flavours are provided:
+
+* :func:`gemm_float` -- the plain float matrix product used by the accurate
+  GEMM-based convolution (what TensorFlow's own Conv2D reduces to).
+* :func:`approx_gemm` -- the ``ApproxGEMM`` step of Algorithm 1: the patch
+  matrix of quantised 8-bit values is multiplied with the quantised filter
+  matrix using a multiplier *lookup table* for every scalar product, the
+  integer accumulations are corrected with the pre-computed patch sums ``Sp``
+  and filter sums ``Sf`` and the result is dequantised according to Eq. 4.
+
+``approx_gemm`` is deliberately engine-agnostic: the vectorised NumPy path
+here, the direct CPU loop in :mod:`repro.conv.reference` and the simulated
+CUDA kernel in :mod:`repro.gpusim.kernels.gemm_kernel` must all produce
+bit-identical results, which the test-suite checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..lut.table import LookupTable
+from ..quantization.affine import QuantParams
+
+
+def gemm_float(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain float matrix multiplication with shape validation."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError("gemm_float expects two 2D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(
+            f"inner dimensions do not match: {a.shape} x {b.shape}"
+        )
+    return a @ b
+
+
+def _wrap_accumulator(values: np.ndarray, accumulator_bits: int | None,
+                      saturate: bool) -> np.ndarray:
+    """Model a finite-width MAC accumulator.
+
+    The paper's accelerator uses a 32-bit accumulator behind the 8-bit
+    multiplier; by default the emulation uses int64 so no overflow can occur,
+    but callers may opt into modelling the finite accumulator either with
+    wrap-around (two's complement) or saturation semantics.
+    """
+    if accumulator_bits is None:
+        return values
+    if accumulator_bits < 8 or accumulator_bits > 64:
+        raise ConfigurationError("accumulator_bits must lie in [8, 64]")
+    lo = -(1 << (accumulator_bits - 1))
+    hi = (1 << (accumulator_bits - 1)) - 1
+    if saturate:
+        return np.clip(values, lo, hi)
+    span = 1 << accumulator_bits
+    wrapped = np.mod(values - lo, span) + lo
+    return wrapped
+
+
+def lut_matmul(patches: np.ndarray, filters: np.ndarray, lut: LookupTable, *,
+               tile_rows: int = 256,
+               accumulator_bits: int | None = None,
+               saturate: bool = False) -> np.ndarray:
+    """Integer matrix product where every multiplication is a LUT lookup.
+
+    ``patches`` has shape ``[P, K]`` (quantised patch rows), ``filters`` has
+    shape ``[K, F]`` (quantised filter columns).  The product is accumulated
+    in int64 (optionally folded into a finite-width accumulator) and returned
+    as an ``[P, F]`` int64 matrix of *approximate* dot products.
+
+    The computation is tiled over patch rows so the intermediate index tensor
+    stays small; this mirrors the tiled shared-memory GEMM of the CUDA kernel
+    (although the tile shape here is chosen for NumPy efficiency rather than
+    for warp occupancy).
+    """
+    patches = np.asarray(patches, dtype=np.int64)
+    filters = np.asarray(filters, dtype=np.int64)
+    if patches.ndim != 2 or filters.ndim != 2:
+        raise ShapeError("lut_matmul expects 2D operands")
+    if patches.shape[1] != filters.shape[0]:
+        raise ShapeError(
+            f"inner dimensions do not match: {patches.shape} x {filters.shape}"
+        )
+    if tile_rows <= 0:
+        raise ConfigurationError("tile_rows must be positive")
+
+    num_patches, depth = patches.shape
+    num_filters = filters.shape[1]
+    result = np.zeros((num_patches, num_filters), dtype=np.int64)
+
+    # Pre-stitch the filter half of the index once; the patch half is added
+    # tile by tile.  Index = (patch_bits << n) | filter_bits.
+    mask = (1 << lut.bit_width) - 1
+    filter_bits = (filters & mask)                      # [K, F]
+    for start in range(0, num_patches, tile_rows):
+        stop = min(start + tile_rows, num_patches)
+        tile = patches[start:stop]                      # [T, K]
+        tile_bits = (tile & mask) << lut.bit_width      # [T, K]
+        idx = tile_bits[:, :, None] | filter_bits[None, :, :]   # [T, K, F]
+        products = lut.lookup_flat(idx)                 # [T, K, F] int64
+        acc = products.sum(axis=1)                      # [T, F]
+        result[start:stop] = _wrap_accumulator(acc, accumulator_bits, saturate)
+    return result
+
+
+def dequantize_gemm(acc: np.ndarray, patch_sums: np.ndarray,
+                    filter_sums: np.ndarray, depth: int,
+                    input_q: QuantParams, filter_q: QuantParams) -> np.ndarray:
+    """Apply the Eq. 4 correction and dequantisation to integer accumulators.
+
+    ``acc[p, f]`` is the (approximate) sum of quantised products for patch
+    ``p`` and filter ``f``; ``patch_sums[p]`` is ``Sp``, ``filter_sums[f]`` is
+    ``Sf`` and ``depth`` is the number of accumulated terms ``N``.  The result
+    is the real-valued convolution output
+
+    ``alpha1*alpha2 * (acc - beta2*Sp - beta1*Sf + N*beta1*beta2)``.
+    """
+    acc = np.asarray(acc, dtype=np.float64)
+    patch_sums = np.asarray(patch_sums, dtype=np.float64)
+    filter_sums = np.asarray(filter_sums, dtype=np.float64)
+    if acc.ndim != 2:
+        raise ShapeError("accumulator matrix must be 2D")
+    if patch_sums.shape[0] != acc.shape[0]:
+        raise ShapeError(
+            f"patch sums ({patch_sums.shape[0]}) do not match accumulator rows "
+            f"({acc.shape[0]})"
+        )
+    if filter_sums.shape[0] != acc.shape[1]:
+        raise ShapeError(
+            f"filter sums ({filter_sums.shape[0]}) do not match accumulator "
+            f"columns ({acc.shape[1]})"
+        )
+    alpha1, beta1 = input_q.scale, input_q.zero_point
+    alpha2, beta2 = filter_q.scale, filter_q.zero_point
+    corrected = (
+        acc
+        - beta2 * patch_sums[:, None]
+        - beta1 * filter_sums[None, :]
+        + depth * beta1 * beta2
+    )
+    return alpha1 * alpha2 * corrected
+
+
+def approx_gemm(patches: np.ndarray, patch_sums: np.ndarray,
+                filters: np.ndarray, filter_sums: np.ndarray,
+                input_q: QuantParams, filter_q: QuantParams,
+                lut: LookupTable, *, tile_rows: int = 256,
+                accumulator_bits: int | None = None,
+                saturate: bool = False) -> np.ndarray:
+    """The ``ApproxGEMM`` step of Algorithm 1.
+
+    Multiplies the quantised patch matrix with the quantised filter matrix
+    through the multiplier LUT and returns the dequantised float output of
+    shape ``[patches, filters]``.
+    """
+    acc = lut_matmul(
+        patches, filters, lut,
+        tile_rows=tile_rows,
+        accumulator_bits=accumulator_bits,
+        saturate=saturate,
+    )
+    depth = patches.shape[1]
+    return dequantize_gemm(acc, patch_sums, filter_sums, depth, input_q, filter_q)

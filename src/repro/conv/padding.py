@@ -1,0 +1,150 @@
+"""Convolution geometry: output shapes and TensorFlow-style padding.
+
+The 2D convolution of the paper follows TensorFlow semantics: NHWC inputs,
+HWCK filters, ``strides``/``dilations`` per spatial dimension and the two
+classic padding modes:
+
+* ``VALID`` -- no padding; the kernel must fit entirely inside the input.
+* ``SAME``  -- enough (possibly asymmetric) zero padding so the output keeps
+  ``ceil(input / stride)`` positions.
+
+These helpers are shared by every engine (direct loop, im2col/GEMM and the
+simulated CUDA kernels) so the geometries can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ShapeError
+
+#: Padding modes accepted by the convolution engines.
+VALID_PADDINGS = ("SAME", "VALID")
+
+
+def _normalise_pair(value, name: str) -> tuple[int, int]:
+    """Accept an int or a 2-sequence and return a positive (h, w) pair."""
+    if isinstance(value, int):
+        pair = (value, value)
+    else:
+        try:
+            pair = tuple(int(v) for v in value)
+        except TypeError:
+            raise ConfigurationError(f"{name} must be an int or a pair") from None
+        if len(pair) != 2:
+            raise ConfigurationError(f"{name} must have exactly two entries")
+    if pair[0] <= 0 or pair[1] <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {pair}")
+    return pair
+
+
+def normalise_strides(strides) -> tuple[int, int]:
+    """Normalise a stride specification to an ``(sh, sw)`` pair."""
+    return _normalise_pair(strides, "strides")
+
+
+def normalise_dilations(dilations) -> tuple[int, int]:
+    """Normalise a dilation specification to a ``(dh, dw)`` pair."""
+    return _normalise_pair(dilations, "dilations")
+
+
+def effective_kernel_size(kernel: int, dilation: int) -> int:
+    """Spatial extent of a dilated kernel."""
+    return (kernel - 1) * dilation + 1
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Resolved geometry of one 2D convolution."""
+
+    input_height: int
+    input_width: int
+    kernel_height: int
+    kernel_width: int
+    stride_h: int
+    stride_w: int
+    dilation_h: int
+    dilation_w: int
+    pad_top: int
+    pad_bottom: int
+    pad_left: int
+    pad_right: int
+    output_height: int
+    output_width: int
+
+    @property
+    def padded_height(self) -> int:
+        """Input height after padding."""
+        return self.input_height + self.pad_top + self.pad_bottom
+
+    @property
+    def padded_width(self) -> int:
+        """Input width after padding."""
+        return self.input_width + self.pad_left + self.pad_right
+
+    @property
+    def patch_positions(self) -> int:
+        """Number of kernel positions (output pixels) per image."""
+        return self.output_height * self.output_width
+
+
+def resolve_geometry(input_height: int, input_width: int,
+                     kernel_height: int, kernel_width: int, *,
+                     strides=(1, 1), dilations=(1, 1),
+                     padding: str = "SAME") -> ConvGeometry:
+    """Compute output size and padding amounts for one convolution.
+
+    Follows TensorFlow's conventions exactly, including the asymmetric SAME
+    padding (the extra pixel, when needed, goes to the bottom/right).
+    """
+    if input_height <= 0 or input_width <= 0:
+        raise ShapeError(
+            f"input spatial size must be positive, got {input_height}x{input_width}"
+        )
+    if kernel_height <= 0 or kernel_width <= 0:
+        raise ShapeError(
+            f"kernel size must be positive, got {kernel_height}x{kernel_width}"
+        )
+    stride_h, stride_w = normalise_strides(strides)
+    dilation_h, dilation_w = normalise_dilations(dilations)
+    padding = padding.upper()
+    if padding not in VALID_PADDINGS:
+        raise ConfigurationError(
+            f"padding must be one of {VALID_PADDINGS}, got {padding!r}"
+        )
+
+    eff_kh = effective_kernel_size(kernel_height, dilation_h)
+    eff_kw = effective_kernel_size(kernel_width, dilation_w)
+
+    if padding == "VALID":
+        if eff_kh > input_height or eff_kw > input_width:
+            raise ShapeError(
+                f"effective kernel {eff_kh}x{eff_kw} does not fit into the "
+                f"{input_height}x{input_width} input with VALID padding"
+            )
+        out_h = (input_height - eff_kh) // stride_h + 1
+        out_w = (input_width - eff_kw) // stride_w + 1
+        pads = (0, 0, 0, 0)
+    else:
+        out_h = -(-input_height // stride_h)  # ceil division
+        out_w = -(-input_width // stride_w)
+        pad_h = max((out_h - 1) * stride_h + eff_kh - input_height, 0)
+        pad_w = max((out_w - 1) * stride_w + eff_kw - input_width, 0)
+        pads = (pad_h // 2, pad_h - pad_h // 2, pad_w // 2, pad_w - pad_w // 2)
+
+    return ConvGeometry(
+        input_height=input_height,
+        input_width=input_width,
+        kernel_height=kernel_height,
+        kernel_width=kernel_width,
+        stride_h=stride_h,
+        stride_w=stride_w,
+        dilation_h=dilation_h,
+        dilation_w=dilation_w,
+        pad_top=pads[0],
+        pad_bottom=pads[1],
+        pad_left=pads[2],
+        pad_right=pads[3],
+        output_height=out_h,
+        output_width=out_w,
+    )

@@ -1,0 +1,23 @@
+"""Synthetic datasets standing in for CIFAR-10."""
+
+from .cifar import (
+    DatasetSplit,
+    IMAGE_SIZE,
+    NUM_CHANNELS,
+    NUM_CLASSES,
+    PAPER_BATCH_SIZE,
+    PAPER_TEST_IMAGES,
+    generate_cifar_like,
+    normalize,
+)
+
+__all__ = [
+    "DatasetSplit",
+    "generate_cifar_like",
+    "normalize",
+    "IMAGE_SIZE",
+    "NUM_CHANNELS",
+    "NUM_CLASSES",
+    "PAPER_BATCH_SIZE",
+    "PAPER_TEST_IMAGES",
+]

@@ -1,0 +1,136 @@
+"""Synthetic CIFAR-10-like dataset.
+
+The paper's evaluation uses the 10 000-image CIFAR-10 test set (32x32x3
+pixels, ten classes, processed in ten batches of 1000 images).  The real
+dataset cannot be downloaded in this offline environment, so this module
+generates a deterministic synthetic substitute with the same shape and batch
+structure:
+
+* every class has a characteristic low-frequency colour/texture template
+  (smooth gradients plus a class-specific sinusoidal pattern),
+* each sample is the template of its class plus per-sample jitter and noise,
+* values are clipped to [0, 1] like normalised image data.
+
+For the *timing* experiments only the tensor shapes matter, so the synthetic
+data is a faithful stand-in.  For the *quality* experiments (accuracy drop of
+approximate multipliers) the class structure gives the pseudo-trained models
+a meaningful accuracy signal that degrades as multipliers get coarser, which
+is the behaviour the tool is meant to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: CIFAR-10 geometry used throughout the paper's evaluation.
+IMAGE_SIZE = 32
+NUM_CHANNELS = 3
+NUM_CLASSES = 10
+#: 10 000 test images processed as 10 batches of 1000 images.
+PAPER_TEST_IMAGES = 10_000
+PAPER_BATCH_SIZE = 1_000
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A labelled set of images."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ConfigurationError(
+                f"images must be NHWC, got shape {self.images.shape}")
+        if self.labels.ndim != 1 or self.labels.shape[0] != self.images.shape[0]:
+            raise ConfigurationError("labels must be a vector matching the images")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels representable in the split."""
+        return NUM_CLASSES
+
+    def batches(self, batch_size: int = PAPER_BATCH_SIZE
+                ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate over consecutive (images, labels) batches."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        for start in range(0, len(self), batch_size):
+            stop = min(start + batch_size, len(self))
+            yield self.images[start:stop], self.labels[start:stop]
+
+    def subset(self, count: int) -> "DatasetSplit":
+        """First ``count`` samples (used to scale experiments down)."""
+        if count <= 0 or count > len(self):
+            raise ConfigurationError(
+                f"subset size {count} outside [1, {len(self)}]")
+        return DatasetSplit(self.images[:count], self.labels[:count])
+
+
+def _class_template(cls: int, size: int) -> np.ndarray:
+    """Deterministic low-frequency template of one class."""
+    yy, xx = np.meshgrid(np.linspace(0, 1, size), np.linspace(0, 1, size),
+                         indexing="ij")
+    template = np.zeros((size, size, NUM_CHANNELS))
+    phase = 2.0 * np.pi * cls / NUM_CLASSES
+    freq = 1.0 + cls % 4
+    for channel in range(NUM_CHANNELS):
+        template[:, :, channel] = (
+            0.5
+            + 0.25 * np.sin(freq * np.pi * xx + phase + channel)
+            + 0.25 * np.cos((freq + 1) * np.pi * yy - phase + 0.5 * channel)
+        )
+    # A class-specific bright patch makes classes linearly separable even
+    # after aggressive pooling.
+    patch = size // NUM_CLASSES
+    start = cls * patch
+    template[start:start + patch, start:start + patch, cls % NUM_CHANNELS] += 0.4
+    return template
+
+
+def generate_cifar_like(num_images: int = PAPER_TEST_IMAGES, *, seed: int = 0,
+                        noise: float = 0.08, image_size: int = IMAGE_SIZE
+                        ) -> DatasetSplit:
+    """Generate a deterministic synthetic CIFAR-10-like split.
+
+    Parameters
+    ----------
+    num_images:
+        Number of samples (the paper uses 10 000).
+    seed:
+        Seed of the per-sample jitter; the class templates are fixed.
+    noise:
+        Standard deviation of the additive Gaussian noise.
+    image_size:
+        Spatial size of the square images (32 for CIFAR).
+    """
+    if num_images <= 0:
+        raise ConfigurationError("num_images must be positive")
+    if noise < 0:
+        raise ConfigurationError("noise must be non-negative")
+    rng = np.random.default_rng(seed)
+    labels = np.arange(num_images, dtype=np.int64) % NUM_CLASSES
+    rng.shuffle(labels)
+
+    templates = np.stack([_class_template(c, image_size) for c in range(NUM_CLASSES)])
+    images = templates[labels]
+    jitter = rng.normal(0.0, noise, size=images.shape)
+    brightness = rng.uniform(-0.1, 0.1, size=(num_images, 1, 1, 1))
+    images = np.clip(images + jitter + brightness, 0.0, 1.0)
+    return DatasetSplit(images=images.astype(np.float64), labels=labels)
+
+
+def normalize(images: np.ndarray, *, mean: float = 0.5, std: float = 0.25
+              ) -> np.ndarray:
+    """Standard CIFAR-style normalisation applied before inference."""
+    if std <= 0:
+        raise ConfigurationError("std must be positive")
+    return (np.asarray(images, dtype=np.float64) - mean) / std

@@ -1,0 +1,49 @@
+"""Exception hierarchy used across the TFApprox reproduction.
+
+Every subsystem raises exceptions derived from :class:`TFApproxError` so that
+callers embedding the library (for example the benchmark harness or the
+examples) can distinguish library failures from programming errors in their
+own code.
+"""
+
+from __future__ import annotations
+
+
+class TFApproxError(Exception):
+    """Base class of all exceptions raised by this library."""
+
+
+class ConfigurationError(TFApproxError):
+    """An object was constructed with inconsistent or unsupported parameters."""
+
+
+class BitWidthError(ConfigurationError):
+    """A bit-width is out of the supported range or two widths do not match."""
+
+
+class TruthTableError(TFApproxError):
+    """A truth table file or array does not describe a valid multiplier."""
+
+
+class QuantizationError(TFApproxError):
+    """Quantization coefficients could not be derived (e.g. NaN/Inf ranges)."""
+
+
+class ShapeError(TFApproxError):
+    """A tensor does not have the shape required by an operation."""
+
+
+class GraphError(TFApproxError):
+    """The dataflow graph is malformed (cycles, missing inputs, duplicates)."""
+
+
+class ExecutionError(TFApproxError):
+    """Graph execution failed (missing feeds, op runtime failure)."""
+
+
+class DeviceError(TFApproxError):
+    """The simulated device was configured or used inconsistently."""
+
+
+class RegistryError(TFApproxError):
+    """A named component (multiplier, op type) is unknown or already defined."""

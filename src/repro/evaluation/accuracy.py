@@ -1,0 +1,62 @@
+"""Classification-quality metrics.
+
+The emulator's purpose is to measure how much accuracy a DNN loses when its
+multipliers are approximated; these helpers compute the metrics the example
+scripts and quality benchmarks report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _check_logits_labels(logits: np.ndarray, labels: np.ndarray) -> None:
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be [batch, classes], got {logits.shape}")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"labels shape {labels.shape} does not match logits {logits.shape}"
+        )
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose true label is among the top-``k`` predictions."""
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    _check_logits_labels(logits, labels)
+    if not 1 <= k <= logits.shape[1]:
+        raise ShapeError(f"k must lie in [1, {logits.shape[1]}]")
+    top = np.argsort(-logits, axis=1)[:, :k]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    return top_k_accuracy(logits, labels, k=1)
+
+
+def prediction_agreement(logits_a: np.ndarray, logits_b: np.ndarray) -> float:
+    """Fraction of samples whose argmax prediction is identical.
+
+    Used to compare accurate and approximate inference on the same inputs:
+    agreement stays at 1.0 for benign multipliers and drops as approximation
+    errors start flipping classifications.
+    """
+    logits_a = np.asarray(logits_a, dtype=np.float64)
+    logits_b = np.asarray(logits_b, dtype=np.float64)
+    if logits_a.shape != logits_b.shape or logits_a.ndim != 2:
+        raise ShapeError(
+            f"logit matrices must have identical 2D shapes, got "
+            f"{logits_a.shape} and {logits_b.shape}"
+        )
+    return float((logits_a.argmax(axis=1) == logits_b.argmax(axis=1)).mean())
+
+
+def accuracy_drop(accurate_logits: np.ndarray, approximate_logits: np.ndarray,
+                  labels: np.ndarray) -> float:
+    """Top-1 accuracy of the accurate run minus the approximate run."""
+    return top1_accuracy(accurate_logits, labels) - top1_accuracy(
+        approximate_logits, labels)

@@ -1,0 +1,60 @@
+"""Command-line entry points (``tfapprox-table1`` and ``tfapprox-fig2``)."""
+
+from __future__ import annotations
+
+import argparse
+
+from .paper_reference import PAPER_FIG2
+from .timing_report import (
+    compare_row_with_paper,
+    format_fig2,
+    format_table1,
+    generate_fig2,
+    generate_table1,
+)
+
+
+def main_table1(argv: list[str] | None = None) -> int:
+    """Print the regenerated Table I (and optionally the paper comparison)."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate Table I of the TFApprox paper from the "
+                    "analytical CPU/GPU timing models.")
+    parser.add_argument("--images", type=int, default=10_000,
+                        help="number of CIFAR-like images (paper: 10000)")
+    parser.add_argument("--compare", action="store_true",
+                        help="print the paper-vs-regenerated comparison")
+    args = parser.parse_args(argv)
+
+    rows = generate_table1(images=args.images)
+    print(format_table1(rows))
+    if args.compare:
+        print()
+        for row in rows:
+            cmp = compare_row_with_paper(row)
+            print(
+                f"{cmp['model']:<10} speedup(approx) paper "
+                f"{cmp['speedup_approximate_paper']:>6.1f}x vs ours "
+                f"{cmp['speedup_approximate_ours']:>6.1f}x"
+            )
+    return 0
+
+
+def main_fig2(argv: list[str] | None = None) -> int:
+    """Print the regenerated Fig. 2 phase breakdown next to the paper's."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the Fig. 2 time-distribution breakdown.")
+    parser.add_argument("--images", type=int, default=10_000,
+                        help="number of CIFAR-like images (paper: 10000)")
+    args = parser.parse_args(argv)
+
+    breakdown = generate_fig2(images=args.images)
+    print("Regenerated breakdown:")
+    print(format_fig2(breakdown))
+    print()
+    print("Paper (Fig. 2) breakdown:")
+    print(format_fig2(PAPER_FIG2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    raise SystemExit(main_table1())

@@ -1,0 +1,91 @@
+"""Numbers reported in the paper (Table I and Fig. 2).
+
+Keeping the published values next to the regenerated ones lets the benchmark
+harness and EXPERIMENTS.md print paper-vs-measured comparisons without
+hard-coding magic constants in several places.  All times are seconds; Table
+I times are reported as ``t_init + t_comp`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """One row of Table I as printed in the paper."""
+
+    model: str
+    conv_layers: int
+    macs_per_image: float            # the paper's "# MACs" column (x 10^6)
+    cpu_accurate: tuple[float, float]     # (t_init, t_comp)
+    gpu_accurate: tuple[float, float]
+    cpu_approximate: tuple[float, float]
+    gpu_approximate: tuple[float, float]
+    overhead_cpu: float
+    overhead_gpu: float
+    speedup_accurate: float
+    speedup_approximate: float
+
+    @property
+    def depth(self) -> int:
+        """Numeric network depth (ResNet-N)."""
+        return int(self.model.split("-")[1])
+
+
+#: Table I of the paper, verbatim.
+PAPER_TABLE1: tuple[PaperTable1Row, ...] = (
+    PaperTable1Row("ResNet-8", 7, 21e6, (0.2, 4.4), (1.8, 0.2),
+                   (0.2, 341.0), (1.7, 1.5), 337.0, 1.2, 2.3, 106.8),
+    PaperTable1Row("ResNet-14", 13, 35e6, (0.2, 7.4), (1.9, 0.3),
+                   (0.2, 724.0), (1.8, 3.1), 718.0, 2.7, 3.5, 148.8),
+    PaperTable1Row("ResNet-20", 19, 49e6, (0.2, 10.4), (1.8, 0.5),
+                   (0.2, 1105.0), (1.8, 4.7), 1096.0, 4.3, 4.7, 170.2),
+    PaperTable1Row("ResNet-26", 25, 63e6, (0.2, 13.4), (1.9, 0.6),
+                   (0.2, 1489.0), (1.8, 6.2), 1477.0, 5.6, 5.5, 185.0),
+    PaperTable1Row("ResNet-32", 31, 77e6, (0.3, 16.3), (1.9, 0.7),
+                   (0.3, 1876.0), (1.9, 7.9), 1861.0, 7.3, 6.5, 191.0),
+    PaperTable1Row("ResNet-38", 37, 91e6, (0.3, 19.3), (1.9, 0.8),
+                   (0.3, 2259.0), (1.9, 9.4), 2241.0, 8.6, 7.3, 200.1),
+    PaperTable1Row("ResNet-44", 43, 106e6, (0.3, 22.3), (1.9, 0.9),
+                   (0.3, 2640.0), (2.0, 10.9), 2620.0, 10.0, 8.0, 205.6),
+    PaperTable1Row("ResNet-50", 49, 120e6, (0.3, 25.2), (1.9, 1.1),
+                   (0.3, 3025.0), (2.0, 12.6), 3003.0, 11.7, 8.6, 207.2),
+    PaperTable1Row("ResNet-56", 55, 134e6, (0.3, 28.1), (1.9, 1.2),
+                   (0.3, 3409.0), (2.0, 13.9), 3384.0, 12.8, 9.2, 214.4),
+    PaperTable1Row("ResNet-62", 61, 148e6, (0.3, 31.1), (1.9, 1.3),
+                   (0.3, 3796.0), (2.3, 15.5), 3767.0, 14.7, 10.0, 213.2),
+)
+
+
+def paper_row_for_depth(depth: int) -> PaperTable1Row:
+    """Look up the published row for ResNet-``depth``."""
+    for row in PAPER_TABLE1:
+        if row.depth == depth:
+            return row
+    raise KeyError(f"the paper does not report ResNet-{depth}")
+
+
+#: Fig. 2 of the paper: share of the total time per phase.  Keys are
+#: (implementation, model); values are fractions of the total time.
+PAPER_FIG2: dict[tuple[str, str], dict[str, float]] = {
+    ("cpu", "ResNet-62"): {"initialization": 0.0083, "remaining": 0.64,
+                           "quantization": 0.07, "lut_lookups": 0.28},
+    ("cpu", "ResNet-50"): {"initialization": 0.0084, "remaining": 0.64,
+                           "quantization": 0.07, "lut_lookups": 0.28},
+    ("cpu", "ResNet-32"): {"initialization": 0.0089, "remaining": 0.64,
+                           "quantization": 0.07, "lut_lookups": 0.28},
+    ("cpu", "ResNet-8"): {"initialization": 0.0133, "remaining": 0.63,
+                          "quantization": 0.09, "lut_lookups": 0.27},
+    ("gpu", "ResNet-62"): {"initialization": 0.10, "remaining": 0.43,
+                           "quantization": 0.20, "lut_lookups": 0.26},
+    ("gpu", "ResNet-50"): {"initialization": 0.13, "remaining": 0.42,
+                           "quantization": 0.19, "lut_lookups": 0.26},
+    ("gpu", "ResNet-32"): {"initialization": 0.19, "remaining": 0.38,
+                           "quantization": 0.18, "lut_lookups": 0.25},
+    ("gpu", "ResNet-8"): {"initialization": 0.55, "remaining": 0.22,
+                          "quantization": 0.14, "lut_lookups": 0.09},
+}
+
+#: The four networks shown in Fig. 2.
+PAPER_FIG2_MODELS = ("ResNet-8", "ResNet-32", "ResNet-50", "ResNet-62")

@@ -1,0 +1,25 @@
+"""Simulated CUDA device, kernels and the analytical GPU timing model."""
+
+from .device import DeviceCounters, GPUDevice, KernelLaunch
+from .engine import GPUConvolutionEngine, GPUConvRunReport
+from .kernels import (
+    GEMM_TILE,
+    IM2COLS_BLOCK_SIZE,
+    run_approx_gemm_kernel,
+    run_im2cols_kernel,
+)
+from .timing import GPUTimingModel, PhaseTimes
+
+__all__ = [
+    "GPUDevice",
+    "DeviceCounters",
+    "KernelLaunch",
+    "GPUConvolutionEngine",
+    "GPUConvRunReport",
+    "GPUTimingModel",
+    "PhaseTimes",
+    "GEMM_TILE",
+    "IM2COLS_BLOCK_SIZE",
+    "run_approx_gemm_kernel",
+    "run_im2cols_kernel",
+]

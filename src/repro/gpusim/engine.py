@@ -1,0 +1,117 @@
+"""Functional GPU engine: Algorithm 1 executed on the simulated device.
+
+This engine reproduces the structure of the CUDA implementation exactly --
+chunking, the Im2Cols kernel (patch matrix + ``Sp``), the tiled LUT GEMM
+kernel and the Eq. 4 dequantisation -- while recording every launch and all
+memory traffic on the :class:`~repro.gpusim.device.GPUDevice`.  Its numerical
+output is identical to :func:`repro.conv.approx_conv2d.approx_conv2d`, which
+the integration tests verify; its accounting feeds the micro-benchmarks and
+the texture-cache ablation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..conv.approx_conv2d import resolve_quant_params, split_chunks
+from ..conv.im2col import filter_sums, flatten_filters
+from ..errors import ConfigurationError, ShapeError
+from ..lut.table import LookupTable
+from ..quantization.affine import IntegerRange, SIGNED_8BIT
+from ..quantization.ranges import TensorRange
+from ..quantization.rounding import RoundMode
+from .device import GPUDevice
+from .kernels.gemm_kernel import run_approx_gemm_kernel
+from .kernels.im2cols_kernel import run_im2cols_kernel
+
+
+@dataclass
+class GPUConvRunReport:
+    """Statistics of one approximate convolution executed on the device."""
+
+    chunks: int = 0
+    kernel_launches: int = 0
+    texture_fetches: int = 0
+    atomic_adds: int = 0
+    shared_bytes: int = 0
+    patch_values: int = 0
+    lut_name: str = ""
+    per_chunk: list[dict] = field(default_factory=list)
+
+
+class GPUConvolutionEngine:
+    """Runs approximate 2D convolutions on a simulated CUDA device."""
+
+    def __init__(self, device: GPUDevice | None = None, *,
+                 chunk_size: int = 32) -> None:
+        if chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        self.device = device if device is not None else GPUDevice()
+        self.chunk_size = chunk_size
+
+    def approx_conv2d(self, inputs: np.ndarray, filters: np.ndarray,
+                      lut: LookupTable, *, strides=(1, 1), dilations=(1, 1),
+                      padding: str = "SAME",
+                      input_range: TensorRange | tuple[float, float] | None = None,
+                      filter_range: TensorRange | tuple[float, float] | None = None,
+                      qrange: IntegerRange = SIGNED_8BIT,
+                      round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                      report: GPUConvRunReport | None = None) -> np.ndarray:
+        """Algorithm 1 on the simulated device; returns the NHWC float output."""
+        if inputs.ndim != 4 or filters.ndim != 4:
+            raise ShapeError("inputs must be NHWC and filters HWCK")
+        if inputs.shape[3] != filters.shape[2]:
+            raise ShapeError(
+                f"channel mismatch: {inputs.shape[3]} vs {filters.shape[2]}"
+            )
+        if qrange.signed != lut.signed:
+            raise ConfigurationError(
+                "quantised range signedness must match the lookup table"
+            )
+
+        report = report if report is not None else GPUConvRunReport()
+        report.lut_name = lut.name
+        kh, kw, _, count = filters.shape
+
+        # ComputeCoeffs for both operands.
+        input_q = resolve_quant_params(inputs, input_range, qrange, round_mode)
+        filter_q = resolve_quant_params(filters, filter_range, qrange, round_mode)
+
+        # Filter-only sum Sf (computed once, on the device in the real code).
+        q_filters = filter_q.quantize(filters)
+        flat_filters = flatten_filters(q_filters.astype(np.int64))
+        sf = filter_sums(flat_filters)
+
+        outputs = []
+        for start, stop in split_chunks(inputs.shape[0], self.chunk_size):
+            chunk = inputs[start:stop]
+            im2cols = run_im2cols_kernel(
+                self.device, chunk, kh, kw, input_q,
+                strides=strides, dilations=dilations, padding=padding,
+            )
+            gemm = run_approx_gemm_kernel(
+                self.device, im2cols.patches, im2cols.patch_sums,
+                flat_filters, sf, input_q, filter_q, lut,
+            )
+            geometry = im2cols.geometry
+            outputs.append(
+                gemm.output.reshape(
+                    stop - start, geometry.output_height, geometry.output_width, count
+                )
+            )
+            report.chunks += 1
+            report.kernel_launches += 2
+            report.texture_fetches += gemm.texture_fetches
+            report.atomic_adds += im2cols.atomic_adds
+            report.shared_bytes += im2cols.shared_bytes + gemm.shared_bytes
+            report.patch_values += int(im2cols.patches.size)
+            report.per_chunk.append({
+                "images": stop - start,
+                "patches": int(im2cols.patches.shape[0]),
+                "patch_length": int(im2cols.patches.shape[1]),
+                "texture_fetches": gemm.texture_fetches,
+            })
+
+        return np.concatenate(outputs, axis=0)

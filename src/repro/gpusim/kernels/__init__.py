@@ -1,0 +1,17 @@
+"""Simulated CUDA kernels of the approximate convolution."""
+
+from .gemm_kernel import GEMM_TILE, GemmKernelResult, run_approx_gemm_kernel
+from .im2cols_kernel import (
+    IM2COLS_BLOCK_SIZE,
+    Im2ColsKernelResult,
+    run_im2cols_kernel,
+)
+
+__all__ = [
+    "GEMM_TILE",
+    "GemmKernelResult",
+    "run_approx_gemm_kernel",
+    "IM2COLS_BLOCK_SIZE",
+    "Im2ColsKernelResult",
+    "run_im2cols_kernel",
+]

@@ -1,0 +1,36 @@
+"""Minimal dataflow-graph framework (the TensorFlow substrate substitute).
+
+The framework provides just enough of a graph abstraction to express CIFAR
+class CNNs, execute them, and apply the paper's Fig. 1 transformation that
+swaps accurate convolutions for approximate ones.
+"""
+
+from . import ops
+from .executor import ExecutionProfile, Executor, infer_shapes
+from .graph import Graph
+from .layerwise import (
+    LayerwiseReport,
+    approximate_graph_layerwise,
+    uniform_assignment,
+)
+from .node import Node
+from .rewriter import count_op_types, remove_dead_nodes, replace_consumers
+from .transform import TransformReport, approximate_graph, restore_accurate_graph
+
+__all__ = [
+    "Graph",
+    "Node",
+    "Executor",
+    "ExecutionProfile",
+    "infer_shapes",
+    "ops",
+    "replace_consumers",
+    "remove_dead_nodes",
+    "count_op_types",
+    "approximate_graph",
+    "restore_accurate_graph",
+    "TransformReport",
+    "approximate_graph_layerwise",
+    "uniform_assignment",
+    "LayerwiseReport",
+]

@@ -1,0 +1,150 @@
+"""Graph execution.
+
+The :class:`Executor` plays the role of a TensorFlow session: given feed
+values for the placeholders it evaluates the requested output nodes in
+topological order, caching intermediate results.  It also records wall-clock
+time per node and per op type, which the evaluation harness uses to attribute
+the emulation cost to graph phases (quantisation, LUT GEMM, the rest) for the
+Fig. 2 style breakdowns of the *host* implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .graph import Graph
+from .node import Node
+from .ops.basic import Placeholder
+
+
+@dataclass
+class ExecutionProfile:
+    """Wall-clock accounting of one or more executor runs."""
+
+    node_seconds: dict[str, float] = field(default_factory=dict)
+    op_type_seconds: dict[str, float] = field(default_factory=dict)
+    runs: int = 0
+
+    def record(self, node: Node, seconds: float) -> None:
+        """Add one node evaluation to the profile."""
+        self.node_seconds[node.name] = self.node_seconds.get(node.name, 0.0) + seconds
+        self.op_type_seconds[node.op_type] = (
+            self.op_type_seconds.get(node.op_type, 0.0) + seconds
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Total time spent inside node evaluations."""
+        return sum(self.op_type_seconds.values())
+
+    def share_by_op_type(self) -> dict[str, float]:
+        """Fraction of the total time per op type."""
+        total = self.total_seconds
+        if total == 0.0:
+            return {k: 0.0 for k in self.op_type_seconds}
+        return {k: v / total for k, v in self.op_type_seconds.items()}
+
+
+class Executor:
+    """Evaluates nodes of a :class:`~repro.graph.graph.Graph`.
+
+    Parameters
+    ----------
+    graph:
+        The graph to execute.  It is validated once at construction.
+    profile:
+        When true, per-node wall-clock times are accumulated in
+        :attr:`profile`.
+    """
+
+    def __init__(self, graph: Graph, *, profile: bool = False) -> None:
+        graph.validate()
+        self._graph = graph
+        self._profiling = profile
+        self.profile = ExecutionProfile()
+
+    @property
+    def graph(self) -> Graph:
+        """The graph being executed."""
+        return self._graph
+
+    def run(self, fetches: Node | list[Node],
+            feeds: dict[Node | str, np.ndarray] | None = None
+            ) -> np.ndarray | list[np.ndarray]:
+        """Evaluate ``fetches`` given placeholder ``feeds``.
+
+        ``fetches`` may be a single node or a list; the return value matches
+        that structure.  Feeds may be keyed by node or by node name.
+        """
+        single = isinstance(fetches, Node)
+        fetch_list = [fetches] if single else list(fetches)
+        feeds = feeds or {}
+
+        feed_values: dict[Node, np.ndarray] = {}
+        for key, value in feeds.items():
+            node = self._graph.get(key) if isinstance(key, str) else key
+            if not isinstance(node, Placeholder):
+                raise ExecutionError(
+                    f"only placeholders can be fed, got {node.op_type} node "
+                    f"{node.name!r}"
+                )
+            feed_values[node] = node.check_feed(value)
+
+        order = self._graph.topological_order(fetch_list)
+        missing = [
+            node.name for node in order
+            if isinstance(node, Placeholder) and node not in feed_values
+        ]
+        if missing:
+            raise ExecutionError(
+                f"missing feeds for placeholders: {', '.join(sorted(missing))}"
+            )
+
+        cache: dict[Node, np.ndarray] = dict(feed_values)
+        for node in order:
+            if node in cache:
+                continue
+            input_values = [cache[producer] for producer in node.inputs]
+            start = time.perf_counter()
+            try:
+                value = node.compute(input_values)
+            except Exception as exc:
+                if isinstance(exc, ExecutionError):
+                    raise
+                raise ExecutionError(
+                    f"evaluation of {node.op_type} node {node.name!r} failed: {exc}"
+                ) from exc
+            elapsed = time.perf_counter() - start
+            if self._profiling:
+                self.profile.record(node, elapsed)
+            cache[node] = np.asarray(value)
+
+        self.profile.runs += 1
+        results = [cache[node] for node in fetch_list]
+        return results[0] if single else results
+
+
+def infer_shapes(graph: Graph, feed_shapes: dict[str, tuple[int | None, ...]] | None = None
+                 ) -> dict[str, tuple[int, ...] | None]:
+    """Best-effort static shape inference over a whole graph.
+
+    ``feed_shapes`` overrides placeholder shapes (e.g. to pin the batch
+    size).  The result maps node names to shapes, with ``None`` for nodes
+    whose shape cannot be determined statically.
+    """
+    feed_shapes = feed_shapes or {}
+    shapes: dict[str, tuple[int, ...] | None] = {}
+    for node in graph.topological_order():
+        if isinstance(node, Placeholder) and node.name in feed_shapes:
+            shapes[node.name] = tuple(feed_shapes[node.name])
+            continue
+        input_shapes = [shapes.get(p.name) for p in node.inputs]
+        try:
+            shapes[node.name] = node.infer_shape(input_shapes)
+        except Exception:
+            shapes[node.name] = None
+    return shapes

@@ -1,0 +1,104 @@
+"""Dataflow-graph nodes.
+
+The paper's tool operates on TensorFlow graphs; here the same role is played
+by a deliberately small dataflow-graph framework.  A :class:`Node` is one
+operation with a single output tensor; it knows its input nodes, its
+attributes and how to compute its output from concrete NumPy inputs.  The
+graph-transformation machinery of Fig. 1 (Conv2D → AxConv2D with Min/Max
+range nodes) only needs these properties, so anything heavier (autodiff,
+multi-output ops, devices) is intentionally left out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from ..errors import GraphError, ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .graph import Graph
+
+
+class Node:
+    """One operation in a dataflow graph.
+
+    Subclasses implement :meth:`compute` (forward evaluation from concrete
+    input arrays) and, when the shape is derivable statically,
+    :meth:`infer_shape`.
+
+    Parameters
+    ----------
+    graph:
+        Owning graph; the node registers itself on construction.
+    name:
+        Unique name within the graph.  Pass ``None`` to let the graph derive
+        one from the op type.
+    inputs:
+        Producer nodes whose outputs feed this node, in positional order.
+    """
+
+    #: Operation type string used by pattern matching and reports.
+    op_type: str = "Node"
+
+    def __init__(self, graph: "Graph", name: str | None,
+                 inputs: Sequence["Node"] = ()) -> None:
+        self._graph = graph
+        self._inputs: list[Node] = list(inputs)
+        for node in self._inputs:
+            if node.graph is not graph:
+                raise GraphError(
+                    f"input node {node.name!r} belongs to a different graph"
+                )
+        self._name = graph.register(self, name)
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> "Graph":
+        """The graph owning this node."""
+        return self._graph
+
+    @property
+    def name(self) -> str:
+        """Unique node name within the graph."""
+        return self._name
+
+    @property
+    def inputs(self) -> tuple["Node", ...]:
+        """Producer nodes feeding this node."""
+        return tuple(self._inputs)
+
+    def replace_input(self, old: "Node", new: "Node") -> int:
+        """Replace every occurrence of ``old`` among the inputs with ``new``.
+
+        Returns the number of replaced positions; used by the graph rewriter.
+        """
+        count = 0
+        for idx, node in enumerate(self._inputs):
+            if node is old:
+                self._inputs[idx] = new
+                count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(node.name for node in self._inputs)
+        return f"<{self.op_type} {self.name!r} inputs=[{ins}]>"
+
+    # ------------------------------------------------------------------
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        """Evaluate the node given concrete input arrays."""
+        raise NotImplementedError
+
+    def infer_shape(self, input_shapes: list[tuple[int, ...] | None]
+                    ) -> tuple[int, ...] | None:
+        """Best-effort static output shape; ``None`` when unknown."""
+        return None
+
+    # ------------------------------------------------------------------
+    def _expect_inputs(self, inputs: list[np.ndarray], count: int) -> None:
+        if len(inputs) != count:
+            raise ShapeError(
+                f"{self.op_type} node {self.name!r} expects {count} inputs, "
+                f"got {len(inputs)}"
+            )

@@ -1,0 +1,139 @@
+"""Convolution ops: the accurate ``Conv2D`` and the approximate ``AxConv2D``.
+
+``Conv2D`` mirrors TensorFlow's NHWC/HWCK convolution.  ``AxConv2D`` is the
+op the paper introduces: it reads two floating-point tensors plus "four
+scalars specifying the quantization coefficients" (delivered as the min/max
+of each input by the graph transformation of Fig. 1), a multiplier model
+given by its truth table, the expected quantised range and the requested
+round mode, and produces a floating-point output with the same range as the
+original convolutional layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...conv.approx_conv2d import DEFAULT_CHUNK_SIZE, ApproxConvStats, approx_conv2d
+from ...conv.padding import resolve_geometry
+from ...conv.reference import conv2d_float
+from ...errors import ConfigurationError, ShapeError
+from ...lut.table import LookupTable
+from ...quantization.affine import IntegerRange, SIGNED_8BIT
+from ...quantization.rounding import RoundMode
+from ..node import Node
+
+
+class Conv2D(Node):
+    """Accurate float 2D convolution (NHWC input, HWCK filters)."""
+
+    op_type = "Conv2D"
+
+    def __init__(self, graph, x: Node, filters: Node, *, strides=(1, 1),
+                 dilations=(1, 1), padding: str = "SAME",
+                 name: str | None = None) -> None:
+        self.strides = strides
+        self.dilations = dilations
+        self.padding = padding
+        super().__init__(graph, name, [x, filters])
+
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        self._expect_inputs(inputs, 2)
+        x, filters = inputs
+        return conv2d_float(
+            x, filters,
+            strides=self.strides, dilations=self.dilations, padding=self.padding,
+        )
+
+    def infer_shape(self, input_shapes):
+        x_shape, f_shape = input_shapes
+        if x_shape is None or f_shape is None:
+            return None
+        if len(x_shape) != 4 or len(f_shape) != 4:
+            return None
+        if any(s is None for s in x_shape[1:3]) or any(s is None for s in f_shape):
+            return None
+        geometry = resolve_geometry(
+            x_shape[1], x_shape[2], f_shape[0], f_shape[1],
+            strides=self.strides, dilations=self.dilations, padding=self.padding,
+        )
+        return (x_shape[0], geometry.output_height, geometry.output_width, f_shape[3])
+
+    def macs(self, input_shape, filter_shape) -> int:
+        """Multiply-accumulate operations for one input of ``input_shape``."""
+        shape = self.infer_shape([input_shape, filter_shape])
+        if shape is None:
+            raise ShapeError("cannot count MACs without static shapes")
+        batch = shape[0] if shape[0] is not None else 1
+        out_positions = batch * shape[1] * shape[2]
+        per_position = filter_shape[0] * filter_shape[1] * filter_shape[2] * filter_shape[3]
+        return out_positions * per_position
+
+
+class AxConv2D(Node):
+    """Approximate 2D convolution backed by a multiplier lookup table.
+
+    Inputs (positional): the data tensor, the filter tensor and the four
+    range scalars ``input_min, input_max, filter_min, filter_max`` produced
+    by the Min/Max nodes of the transformed graph.
+    """
+
+    op_type = "AxConv2D"
+
+    def __init__(self, graph, x: Node, filters: Node,
+                 input_min: Node, input_max: Node,
+                 filter_min: Node, filter_max: Node, *,
+                 lut: LookupTable, strides=(1, 1), dilations=(1, 1),
+                 padding: str = "SAME",
+                 qrange: IntegerRange = SIGNED_8BIT,
+                 round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 accumulator_bits: int | None = None,
+                 name: str | None = None) -> None:
+        if not isinstance(lut, LookupTable):
+            raise ConfigurationError("AxConv2D requires a LookupTable instance")
+        if qrange.signed != lut.signed:
+            raise ConfigurationError(
+                "the quantised range signedness must match the lookup table"
+            )
+        self.lut = lut
+        self.strides = strides
+        self.dilations = dilations
+        self.padding = padding
+        self.qrange = qrange
+        self.round_mode = RoundMode.from_any(round_mode)
+        self.chunk_size = chunk_size
+        self.accumulator_bits = accumulator_bits
+        #: Operation counters accumulated across executions (used by the
+        #: evaluation harness to attribute time to quantisation/LUT phases).
+        self.stats = ApproxConvStats()
+        super().__init__(
+            graph, name, [x, filters, input_min, input_max, filter_min, filter_max],
+        )
+
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        self._expect_inputs(inputs, 6)
+        x, filters, in_min, in_max, f_min, f_max = inputs
+        return approx_conv2d(
+            x, filters, self.lut,
+            strides=self.strides, dilations=self.dilations, padding=self.padding,
+            input_range=(float(in_min), float(in_max)),
+            filter_range=(float(f_min), float(f_max)),
+            qrange=self.qrange, round_mode=self.round_mode,
+            chunk_size=self.chunk_size,
+            accumulator_bits=self.accumulator_bits,
+            stats=self.stats,
+        )
+
+    def infer_shape(self, input_shapes):
+        x_shape, f_shape = input_shapes[0], input_shapes[1]
+        if x_shape is None or f_shape is None:
+            return None
+        if len(x_shape) != 4 or len(f_shape) != 4:
+            return None
+        if any(s is None for s in x_shape[1:3]) or any(s is None for s in f_shape):
+            return None
+        geometry = resolve_geometry(
+            x_shape[1], x_shape[2], f_shape[0], f_shape[1],
+            strides=self.strides, dilations=self.dilations, padding=self.padding,
+        )
+        return (x_shape[0], geometry.output_height, geometry.output_width, f_shape[3])

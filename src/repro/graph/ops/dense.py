@@ -1,0 +1,42 @@
+"""Fully connected (dense / matmul) operation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..node import Node
+
+
+class MatMul(Node):
+    """Matrix multiplication of a batch of row vectors with a weight matrix."""
+
+    op_type = "MatMul"
+
+    def __init__(self, graph, x: Node, weights: Node, *,
+                 name: str | None = None) -> None:
+        super().__init__(graph, name, [x, weights])
+
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        self._expect_inputs(inputs, 2)
+        x, w = inputs
+        if x.ndim != 2 or w.ndim != 2:
+            raise ShapeError(
+                f"MatMul expects 2D operands, got {x.shape} and {w.shape}"
+            )
+        if x.shape[1] != w.shape[0]:
+            raise ShapeError(
+                f"inner dimensions do not match: {x.shape} x {w.shape}"
+            )
+        return x @ w
+
+    def infer_shape(self, input_shapes):
+        x_shape, w_shape = input_shapes
+        if x_shape is None or w_shape is None:
+            return None
+        return (x_shape[0], w_shape[1])
+
+    def macs(self, input_shape, weight_shape) -> int:
+        """Multiply-accumulate count for a given input shape."""
+        batch = input_shape[0] if input_shape[0] is not None else 1
+        return batch * weight_shape[0] * weight_shape[1]

@@ -1,0 +1,50 @@
+"""Inference-time batch normalisation.
+
+Only the inference form is needed for the emulation experiments: the
+statistics (moving mean and variance) and affine parameters (gamma, beta) are
+constants, so the op is a per-channel affine transformation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError, ShapeError
+from ..node import Node
+
+
+class BatchNorm(Node):
+    """Per-channel normalisation with frozen statistics.
+
+    ``y = gamma * (x - mean) / sqrt(var + eps) + beta`` applied over the last
+    (channel) axis of an NHWC or NC tensor.
+    """
+
+    op_type = "BatchNorm"
+
+    def __init__(self, graph, x: Node, gamma: Node, beta: Node,
+                 mean: Node, variance: Node, *, epsilon: float = 1e-3,
+                 name: str | None = None) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+        super().__init__(graph, name, [x, gamma, beta, mean, variance])
+
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        self._expect_inputs(inputs, 5)
+        x, gamma, beta, mean, variance = inputs
+        channels = x.shape[-1]
+        for label, param in (("gamma", gamma), ("beta", beta),
+                             ("mean", mean), ("variance", variance)):
+            if param.ndim != 1 or param.shape[0] != channels:
+                raise ShapeError(
+                    f"BatchNorm parameter {label} must be a vector of length "
+                    f"{channels}, got shape {param.shape}"
+                )
+        if np.any(variance < 0):
+            raise ConfigurationError("variance must be non-negative")
+        scale = gamma / np.sqrt(variance + self.epsilon)
+        return (x - mean) * scale + beta
+
+    def infer_shape(self, input_shapes):
+        return input_shapes[0]

@@ -1,0 +1,125 @@
+"""Pooling operations (max, average and global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...conv.padding import resolve_geometry
+from ...errors import ShapeError
+from ..node import Node
+
+
+def _pool_patches(x: np.ndarray, kernel, strides, padding: str,
+                  pad_value: float) -> tuple[np.ndarray, tuple[int, int]]:
+    """Gather pooling windows of an NHWC tensor.
+
+    Returns an array of shape ``[N, OH, OW, KH*KW, C]`` plus the output
+    spatial size, so both max and average pooling reduce over axis 3.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"pooling expects an NHWC tensor, got shape {x.shape}")
+    kh, kw = kernel
+    geometry = resolve_geometry(
+        x.shape[1], x.shape[2], kh, kw, strides=strides, padding=padding,
+    )
+    padded = np.pad(
+        x,
+        ((0, 0),
+         (geometry.pad_top, geometry.pad_bottom),
+         (geometry.pad_left, geometry.pad_right),
+         (0, 0)),
+        mode="constant", constant_values=pad_value,
+    )
+    windows = np.empty(
+        (x.shape[0], geometry.output_height, geometry.output_width, kh * kw, x.shape[3]),
+        dtype=x.dtype,
+    )
+    for oy in range(geometry.output_height):
+        for ox in range(geometry.output_width):
+            y0 = oy * geometry.stride_h
+            x0 = ox * geometry.stride_w
+            patch = padded[:, y0:y0 + kh, x0:x0 + kw, :]
+            windows[:, oy, ox, :, :] = patch.reshape(x.shape[0], kh * kw, x.shape[3])
+    return windows, (geometry.output_height, geometry.output_width)
+
+
+class MaxPool2D(Node):
+    """Max pooling over NHWC tensors."""
+
+    op_type = "MaxPool2D"
+
+    def __init__(self, graph, x: Node, *, kernel=(2, 2), strides=(2, 2),
+                 padding: str = "VALID", name: str | None = None) -> None:
+        self.kernel = tuple(kernel)
+        self.strides = tuple(strides)
+        self.padding = padding
+        super().__init__(graph, name, [x])
+
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        self._expect_inputs(inputs, 1)
+        windows, _ = _pool_patches(
+            inputs[0], self.kernel, self.strides, self.padding, -np.inf,
+        )
+        return windows.max(axis=3)
+
+    def infer_shape(self, input_shapes):
+        shape = input_shapes[0]
+        if shape is None or any(s is None for s in shape[1:3]):
+            return None
+        geometry = resolve_geometry(
+            shape[1], shape[2], self.kernel[0], self.kernel[1],
+            strides=self.strides, padding=self.padding,
+        )
+        return (shape[0], geometry.output_height, geometry.output_width, shape[3])
+
+
+class AvgPool2D(Node):
+    """Average pooling over NHWC tensors."""
+
+    op_type = "AvgPool2D"
+
+    def __init__(self, graph, x: Node, *, kernel=(2, 2), strides=(2, 2),
+                 padding: str = "VALID", name: str | None = None) -> None:
+        self.kernel = tuple(kernel)
+        self.strides = tuple(strides)
+        self.padding = padding
+        super().__init__(graph, name, [x])
+
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        self._expect_inputs(inputs, 1)
+        windows, _ = _pool_patches(
+            inputs[0], self.kernel, self.strides, self.padding, 0.0,
+        )
+        return windows.mean(axis=3)
+
+    def infer_shape(self, input_shapes):
+        shape = input_shapes[0]
+        if shape is None or any(s is None for s in shape[1:3]):
+            return None
+        geometry = resolve_geometry(
+            shape[1], shape[2], self.kernel[0], self.kernel[1],
+            strides=self.strides, padding=self.padding,
+        )
+        return (shape[0], geometry.output_height, geometry.output_width, shape[3])
+
+
+class GlobalAvgPool(Node):
+    """Global average pooling: NHWC -> NC."""
+
+    op_type = "GlobalAvgPool"
+
+    def __init__(self, graph, x: Node, *, name: str | None = None) -> None:
+        super().__init__(graph, name, [x])
+
+    def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
+        self._expect_inputs(inputs, 1)
+        x = inputs[0]
+        if x.ndim != 4:
+            raise ShapeError(f"GlobalAvgPool expects an NHWC tensor, got {x.shape}")
+        return x.mean(axis=(1, 2))
+
+    def infer_shape(self, input_shapes):
+        shape = input_shapes[0]
+        if shape is None:
+            return None
+        return (shape[0], shape[3])

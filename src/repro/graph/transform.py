@@ -1,0 +1,157 @@
+"""The Fig. 1 graph transformation: ``Conv2D`` → ``AxConv2D`` + Min/Max.
+
+The design flow described in Section II is:
+
+    "Firstly, a DNN model is created or loaded in TF.  Then, all
+    convolutional layers are identified and replaced by corresponding
+    approximate variants.  During this process, the minimum and maximum
+    operators are inserted into the computational path and connected to the
+    approximate layers.  At the end, we obtain a transformed graph which is
+    suitable for the inference as well as training because the minimum and
+    maximum values of the input tensors are determined once per a batch."
+
+:func:`approximate_graph` implements exactly that flow on our graph
+framework: every ``Conv2D`` node is replaced in place by an ``AxConv2D`` fed
+by ``ReduceMin``/``ReduceMax`` nodes over the original data and filter
+tensors, and all downstream consumers are rewired to the new node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GraphError
+from ..lut.table import LookupTable
+from ..multipliers.base import Multiplier
+from ..quantization.affine import IntegerRange, SIGNED_8BIT, UNSIGNED_8BIT
+from ..quantization.rounding import RoundMode
+from .graph import Graph
+from .node import Node
+from .ops.basic import ReduceMax, ReduceMin
+from .ops.conv import AxConv2D, Conv2D
+from .rewriter import replace_consumers
+
+
+@dataclass
+class TransformReport:
+    """Summary of one graph transformation run."""
+
+    replaced: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    inserted_range_nodes: int = 0
+    lut_name: str = ""
+
+    @property
+    def converted_layers(self) -> int:
+        """Number of convolution layers converted to approximate variants."""
+        return len(self.replaced)
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"replaced {self.converted_layers} Conv2D node(s) with AxConv2D "
+            f"(lut={self.lut_name!r}), inserted {self.inserted_range_nodes} "
+            f"range node(s), skipped {len(self.skipped)}"
+        )
+
+
+def _resolve_lut(multiplier_or_lut: Multiplier | LookupTable) -> LookupTable:
+    if isinstance(multiplier_or_lut, LookupTable):
+        return multiplier_or_lut
+    if isinstance(multiplier_or_lut, Multiplier):
+        return LookupTable.from_multiplier(multiplier_or_lut)
+    raise GraphError(
+        "expected a Multiplier or LookupTable, got "
+        f"{type(multiplier_or_lut).__name__}"
+    )
+
+
+def approximate_graph(graph: Graph, multiplier_or_lut: Multiplier | LookupTable, *,
+                      qrange: IntegerRange | None = None,
+                      round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                      chunk_size: int = 32,
+                      accumulator_bits: int | None = None,
+                      layer_filter=None) -> TransformReport:
+    """Replace every ``Conv2D`` in ``graph`` by an ``AxConv2D`` (Fig. 1).
+
+    Parameters
+    ----------
+    graph:
+        The graph to transform, modified in place.
+    multiplier_or_lut:
+        The approximate multiplier to emulate, either as a behavioural model
+        or directly as its lookup table.
+    qrange:
+        Quantised integer range; defaults to the range matching the
+        multiplier's signedness ([-128, 127] or [0, 255]).
+    round_mode:
+        Rounding mode applied during quantisation.
+    chunk_size:
+        Batch chunk size forwarded to the approximate convolution.
+    accumulator_bits:
+        Optional finite-accumulator width forwarded to the engine.
+    layer_filter:
+        Optional predicate ``f(conv_node) -> bool``; layers for which it
+        returns False keep their accurate implementation.  This enables the
+        layer-wise approximation studies of ALWANN-style flows.
+
+    Returns
+    -------
+    TransformReport
+        Names of replaced/skipped layers and insertion counts.
+    """
+    lut = _resolve_lut(multiplier_or_lut)
+    if qrange is None:
+        qrange = SIGNED_8BIT if lut.signed else UNSIGNED_8BIT
+    report = TransformReport(lut_name=lut.name)
+
+    for conv in list(graph.nodes_by_type(Conv2D.op_type)):
+        if layer_filter is not None and not layer_filter(conv):
+            report.skipped.append(conv.name)
+            continue
+        data, filters = conv.inputs
+
+        input_min = ReduceMin(graph, data, name=f"{conv.name}/input_min")
+        input_max = ReduceMax(graph, data, name=f"{conv.name}/input_max")
+        filter_min = ReduceMin(graph, filters, name=f"{conv.name}/filter_min")
+        filter_max = ReduceMax(graph, filters, name=f"{conv.name}/filter_max")
+        report.inserted_range_nodes += 4
+
+        ax = AxConv2D(
+            graph, data, filters, input_min, input_max, filter_min, filter_max,
+            lut=lut, strides=conv.strides, dilations=conv.dilations,
+            padding=conv.padding, qrange=qrange, round_mode=round_mode,
+            chunk_size=chunk_size, accumulator_bits=accumulator_bits,
+            name=f"{conv.name}/approx",
+        )
+        replace_consumers(graph, conv, ax)
+        graph.remove(conv)
+        report.replaced.append(conv.name)
+
+    graph.validate()
+    return report
+
+
+def restore_accurate_graph(graph: Graph) -> int:
+    """Inverse transformation: turn every ``AxConv2D`` back into ``Conv2D``.
+
+    The Min/Max range nodes become dead and are removed.  Returns the number
+    of restored layers.  Useful for A/B comparisons on the same graph object.
+    """
+    restored = 0
+    for ax in list(graph.nodes_by_type(AxConv2D.op_type)):
+        data, filters = ax.inputs[0], ax.inputs[1]
+        range_nodes = list(ax.inputs[2:])
+        conv = Conv2D(
+            graph, data, filters,
+            strides=ax.strides, dilations=ax.dilations, padding=ax.padding,
+            name=f"{ax.name}/accurate",
+        )
+        replace_consumers(graph, ax, conv)
+        graph.remove(ax)
+        for node in range_nodes:
+            if not graph.consumers(node):
+                graph.remove(node)
+        restored += 1
+    graph.validate()
+    return restored

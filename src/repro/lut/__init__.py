@@ -1,0 +1,16 @@
+"""Lookup-table emulation of approximate multipliers.
+
+The flat table plus texture-object pair mirrors the CUDA implementation of
+the paper: the multiplier truth table is bound once and each approximate
+multiplication becomes a single indexed fetch.
+"""
+
+from .table import LookupTable
+from .texture import TextureCacheModel, TextureFetchStats, TextureObject
+
+__all__ = [
+    "LookupTable",
+    "TextureObject",
+    "TextureCacheModel",
+    "TextureFetchStats",
+]

@@ -1,0 +1,189 @@
+"""Look-up-table representation of approximate multipliers.
+
+Section III of the paper explains that the 8-bit approximate multiplication
+inside the GEMM kernel "is implemented by a lookup table containing 256^2
+16-bit values stored in GPU memory and cached in L1 or L1 texture cache", with
+the index "created by stitching the multiplied 8-bit values into a single
+16-bit value".  :class:`LookupTable` is exactly that object on the host side:
+a flat array of products addressed by the concatenated operand bit patterns.
+
+The same class backs every emulation engine in this repository -- the direct
+CPU loop, the vectorised NumPy path and the simulated CUDA kernels -- so the
+functional behaviour of an accelerator configuration is defined in a single
+place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BitWidthError, TruthTableError
+from ..multipliers.base import Multiplier
+from ..multipliers.truthtable import validate_table
+
+
+class LookupTable:
+    """Flat product table addressed by stitched operand bit patterns.
+
+    Parameters
+    ----------
+    table:
+        Dense ``2**n x 2**n`` truth table indexed by raw operand bit patterns
+        (as produced by :meth:`repro.multipliers.Multiplier.truth_table`).
+    bit_width:
+        Operand width ``n``.
+    signed:
+        Whether the operands feeding the table are two's-complement values.
+        This only affects how quantised operands are translated to bit
+        patterns in :meth:`lookup`; the stored products are always plain
+        integers.
+    name:
+        Identifier used in reports; defaults to ``"lut"``.
+    """
+
+    def __init__(self, table: np.ndarray, *, bit_width: int = 8,
+                 signed: bool = False, name: str = "lut") -> None:
+        if bit_width < 2 or bit_width > 16:
+            raise BitWidthError(f"bit width {bit_width} outside [2, 16]")
+        table = validate_table(table, bit_width, signed=signed)
+        self._bit_width = int(bit_width)
+        self._signed = bool(signed)
+        self._name = name
+        # 16-bit storage reproduces the 128 kB footprint quoted by the paper
+        # for 8-bit multipliers; wider products fall back to 32 bits.
+        if 2 * bit_width <= 16:
+            storage = np.int16 if signed else np.uint16
+        else:
+            storage = np.int32
+        self._flat = np.ascontiguousarray(table.reshape(-1).astype(storage))
+        self._table_2d = table
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_multiplier(cls, multiplier: Multiplier, *,
+                        name: str | None = None) -> "LookupTable":
+        """Materialise a multiplier's truth table into a lookup table."""
+        return cls(
+            multiplier.truth_table(),
+            bit_width=multiplier.bit_width,
+            signed=multiplier.signed,
+            name=name or multiplier.name,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def bit_width(self) -> int:
+        """Operand width in bits."""
+        return self._bit_width
+
+    @property
+    def signed(self) -> bool:
+        """Whether quantised operands are two's-complement values."""
+        return self._signed
+
+    @property
+    def name(self) -> str:
+        """Identifier of the table (usually the multiplier name)."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of entries (``2**(2 * bit_width)``)."""
+        return self._flat.size
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the flat table in bytes (128 kB for 8-bit)."""
+        return self._flat.nbytes
+
+    @property
+    def flat(self) -> np.ndarray:
+        """Read-only view of the flat table (what the texture object binds)."""
+        view = self._flat.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def operand_min(self) -> int:
+        """Smallest quantised operand accepted by :meth:`lookup`."""
+        return -(1 << (self._bit_width - 1)) if self._signed else 0
+
+    @property
+    def operand_max(self) -> int:
+        """Largest quantised operand accepted by :meth:`lookup`."""
+        if self._signed:
+            return (1 << (self._bit_width - 1)) - 1
+        return (1 << self._bit_width) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "signed" if self._signed else "unsigned"
+        return (
+            f"LookupTable(name={self._name!r}, {self._bit_width}-bit {kind}, "
+            f"{self.nbytes // 1024} kB)"
+        )
+
+    # ------------------------------------------------------------------
+    # Index construction and lookups
+    # ------------------------------------------------------------------
+    def _to_bits(self, values: np.ndarray) -> np.ndarray:
+        """Map quantised operand values to raw bit patterns."""
+        values = np.asarray(values, dtype=np.int64)
+        lo, hi = self.operand_min, self.operand_max
+        if values.size:
+            vmin, vmax = int(values.min()), int(values.max())
+            if vmin < lo or vmax > hi:
+                raise TruthTableError(
+                    f"quantised operands [{vmin}, {vmax}] outside the table "
+                    f"range [{lo}, {hi}]"
+                )
+        mask = (1 << self._bit_width) - 1
+        return values & mask
+
+    def stitch_index(self, a, b) -> np.ndarray:
+        """Stitch two quantised operands into the flat texture index.
+
+        This mirrors the CUDA kernel: ``index = (bits(a) << n) | bits(b)``,
+        giving a 16-bit index for 8-bit operands.
+        """
+        a_bits = self._to_bits(np.asarray(a))
+        b_bits = self._to_bits(np.asarray(b))
+        return (a_bits << self._bit_width) | b_bits
+
+    def lookup(self, a, b):
+        """Return the table product for quantised operands ``a`` and ``b``.
+
+        Operands may be scalars or arrays (broadcast together); the result is
+        returned as ``int64`` so downstream accumulation never overflows.
+        """
+        idx = self.stitch_index(a, b)
+        products = self._flat[idx].astype(np.int64)
+        if np.isscalar(a) and np.isscalar(b):
+            return int(products)
+        return products
+
+    def lookup_flat(self, indices: np.ndarray) -> np.ndarray:
+        """Fetch products for pre-stitched indices (texture-fetch semantics)."""
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise TruthTableError(
+                f"stitched index outside [0, {self.size})"
+            )
+        return self._flat[indices].astype(np.int64)
+
+    def dense(self) -> np.ndarray:
+        """Return the dense ``2**n x 2**n`` truth table (a copy)."""
+        return self._table_2d.copy()
+
+    # ------------------------------------------------------------------
+    def error_versus_exact(self) -> np.ndarray:
+        """Return the dense signed error table against exact multiplication."""
+        values = np.arange(1 << self._bit_width, dtype=np.int64)
+        if self._signed:
+            half = 1 << (self._bit_width - 1)
+            values = np.where(values >= half, values - (1 << self._bit_width), values)
+        a_grid, b_grid = np.meshgrid(values, values, indexing="ij")
+        return self._table_2d.astype(np.int64) - a_grid * b_grid
+
+    def is_exact(self) -> bool:
+        """True when the table encodes an exact multiplier."""
+        return not np.any(self.error_versus_exact())

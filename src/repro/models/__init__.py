@@ -1,0 +1,33 @@
+"""Model zoo: CIFAR ResNets (Table I) and a small demo CNN."""
+
+from .calibration import calibrate_classifier, extract_features
+from .resnet import (
+    PAPER_DEPTHS,
+    ResNetModel,
+    blocks_per_stage,
+    build_resnet,
+    conv_workloads_for_depth,
+)
+from .simple_cnn import SimpleCNNModel, build_simple_cnn
+from .summary import (
+    ModelSummary,
+    conv_workloads_from_graph,
+    count_parameters,
+    summarize_workloads,
+)
+
+__all__ = [
+    "calibrate_classifier",
+    "extract_features",
+    "PAPER_DEPTHS",
+    "ResNetModel",
+    "build_resnet",
+    "blocks_per_stage",
+    "conv_workloads_for_depth",
+    "SimpleCNNModel",
+    "build_simple_cnn",
+    "ModelSummary",
+    "summarize_workloads",
+    "conv_workloads_from_graph",
+    "count_parameters",
+]

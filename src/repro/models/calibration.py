@@ -1,0 +1,87 @@
+"""Classifier calibration for the pseudo-trained models.
+
+Pre-trained CIFAR ResNet weights are not available in this offline
+environment.  Random convolutional features still carry class information for
+the synthetic dataset (its classes differ in low-frequency statistics that
+survive random filtering and pooling), so a useful accuracy signal can be
+recovered without implementing back-propagation: probe the feature extractor
+on a calibration split and set the final dense layer to a nearest-class-mean
+(linear discriminant) classifier in that feature space.
+
+This is exactly the knob the quality experiments need -- a model whose
+accuracy is well above chance with accurate arithmetic and degrades as the
+multiplier gets coarser -- while keeping every weight deterministic and
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.cifar import DatasetSplit, normalize
+from ..errors import ConfigurationError
+from ..graph import Executor
+
+
+def extract_features(model, dataset: DatasetSplit, *, batch_size: int = 32,
+                     normalize_inputs: bool = True) -> np.ndarray:
+    """Run the model trunk and return the pooled feature matrix."""
+    if model.feature_node is None:
+        raise ConfigurationError("model does not expose a feature node")
+    executor = Executor(model.graph)
+    features = []
+    for images, _ in dataset.batches(batch_size):
+        feed = normalize(images) if normalize_inputs else images
+        features.append(executor.run(model.feature_node, {model.input_node: feed}))
+    return np.concatenate(features, axis=0)
+
+
+def calibrate_classifier(model, dataset: DatasetSplit, *, batch_size: int = 32,
+                         normalize_inputs: bool = True,
+                         ridge: float = 1e-3) -> float:
+    """Fit the model's final dense layer to the calibration split.
+
+    The classifier becomes the nearest-class-mean linear discriminant in the
+    (standardised) feature space:
+
+    ``W[:, c] = mu_c / sigma^2`` and ``b[c] = -||mu_c||^2 / (2 sigma^2)``
+
+    which is the Bayes classifier under an isotropic Gaussian class model.
+    Returns the top-1 accuracy on the calibration split itself.
+    """
+    if model.classifier_weights is None or model.classifier_bias is None:
+        raise ConfigurationError("model does not expose classifier constants")
+    features = extract_features(
+        model, dataset, batch_size=batch_size, normalize_inputs=normalize_inputs)
+    labels = dataset.labels
+    num_classes = model.num_classes
+
+    feature_dim = features.shape[1]
+    expected = model.classifier_weights.value.shape
+    if expected != (feature_dim, num_classes):
+        raise ConfigurationError(
+            f"classifier weights have shape {expected}, expected "
+            f"{(feature_dim, num_classes)}"
+        )
+
+    # Standardise features so one shared variance is a reasonable model.
+    mean = features.mean(axis=0)
+    std = features.std(axis=0) + ridge
+    standardized = (features - mean) / std
+
+    centroids = np.zeros((num_classes, feature_dim))
+    for cls in range(num_classes):
+        members = standardized[labels == cls]
+        if members.size:
+            centroids[cls] = members.mean(axis=0)
+
+    # Fold the feature standardisation into the linear layer:
+    # logits = (f - mean)/std . centroids^T - ||centroid||^2/2
+    weights = (centroids / std).T
+    bias = -0.5 * np.sum(centroids ** 2, axis=1) - (mean / std) @ centroids.T
+
+    model.classifier_weights.set_value(weights)
+    model.classifier_bias.set_value(bias)
+
+    logits = standardized @ centroids.T - 0.5 * np.sum(centroids ** 2, axis=1)
+    return float((logits.argmax(axis=1) == labels).mean())

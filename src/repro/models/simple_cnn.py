@@ -1,0 +1,110 @@
+"""A small convolutional network used by the quickstart example and tests.
+
+Three convolution layers, two pooling layers and a dense classifier -- large
+enough to exercise every op the emulator cares about (convolution, bias,
+ReLU, pooling, dense, softmax), small enough that the fully functional
+approximate emulation runs in well under a second on a laptop CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import Graph
+from ..graph.ops import (
+    BiasAdd,
+    Constant,
+    Conv2D,
+    Flatten,
+    Identity,
+    MatMul,
+    MaxPool2D,
+    Placeholder,
+    ReLU,
+    Softmax,
+)
+from ..workload import ConvWorkload
+
+
+@dataclass
+class SimpleCNNModel:
+    """A built small CNN graph with its bookkeeping information."""
+
+    graph: Graph
+    input_node: Placeholder
+    logits: Identity
+    probabilities: Softmax
+    num_classes: int
+    conv_workloads: list[ConvWorkload] = field(default_factory=list)
+    parameter_count: int = 0
+    feature_node: object | None = None
+    classifier_weights: Constant | None = None
+    classifier_bias: Constant | None = None
+
+    @property
+    def macs_per_image(self) -> int:
+        """Convolution MACs per image."""
+        return sum(w.macs_per_image for w in self.conv_workloads)
+
+
+def build_simple_cnn(*, input_size: int = 32, num_classes: int = 10,
+                     seed: int = 0) -> SimpleCNNModel:
+    """Build the three-layer demo CNN."""
+    rng = np.random.default_rng(seed)
+    graph = Graph("simple_cnn")
+    workloads: list[ConvWorkload] = []
+    parameters = 0
+
+    x = Placeholder(graph, (None, input_size, input_size, 3), name="images")
+
+    def conv_block(inp, in_ch, out_ch, spatial, name):
+        nonlocal parameters
+        weights = rng.normal(0.0, np.sqrt(2.0 / (9 * in_ch)),
+                             size=(3, 3, in_ch, out_ch))
+        bias = rng.normal(0.0, 0.05, size=(out_ch,))
+        w_node = Constant(graph, weights, name=f"{name}/weights")
+        b_node = Constant(graph, bias, name=f"{name}/bias")
+        conv = Conv2D(graph, inp, w_node, name=name)
+        workloads.append(ConvWorkload(
+            name=name, input_height=spatial, input_width=spatial,
+            input_channels=in_ch, kernel_height=3, kernel_width=3,
+            output_channels=out_ch,
+        ))
+        parameters += weights.size + bias.size
+        return ReLU(graph, BiasAdd(graph, conv, b_node, name=f"{name}/bias_add"),
+                    name=f"{name}/relu")
+
+    net = conv_block(x, 3, 16, input_size, "conv1")
+    net = MaxPool2D(graph, net, name="pool1")
+    net = conv_block(net, 16, 32, input_size // 2, "conv2")
+    net = MaxPool2D(graph, net, name="pool2")
+    net = conv_block(net, 32, 64, input_size // 4, "conv3")
+
+    flat = Flatten(graph, net, name="flatten")
+    feature_dim = (input_size // 4) ** 2 * 64
+    dense_w = rng.normal(0.0, np.sqrt(1.0 / feature_dim),
+                         size=(feature_dim, num_classes))
+    dense_b = np.zeros(num_classes)
+    parameters += dense_w.size + dense_b.size
+    fc_weights = Constant(graph, dense_w, name="fc/weights")
+    fc_bias = Constant(graph, dense_b, name="fc/bias")
+    dense = MatMul(graph, flat, fc_weights, name="fc/matmul")
+    logits_node = BiasAdd(graph, dense, fc_bias, name="fc/logits")
+    logits = Identity(graph, logits_node, name="logits")
+    probabilities = Softmax(graph, logits, name="probabilities")
+    graph.validate()
+
+    return SimpleCNNModel(
+        graph=graph,
+        input_node=x,
+        logits=logits,
+        probabilities=probabilities,
+        num_classes=num_classes,
+        conv_workloads=workloads,
+        parameter_count=parameters,
+        feature_node=flat,
+        classifier_weights=fc_weights,
+        classifier_bias=fc_bias,
+    )

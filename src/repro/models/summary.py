@@ -1,0 +1,91 @@
+"""Model summaries: layer counts, parameters and MAC counts.
+
+These are the quantities of the first three columns of Table I (network
+name, number of 2D convolution layers ``L`` and MAC operations).  They can be
+derived either from a built model (its recorded workloads) or directly from a
+graph via shape inference, which doubles as a consistency check between the
+two paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import Graph, infer_shapes
+from ..graph.ops import AxConv2D, Conv2D
+from ..workload import ConvWorkload
+
+
+@dataclass(frozen=True)
+class ModelSummary:
+    """Aggregate statistics of one network."""
+
+    name: str
+    conv_layers: int
+    macs_per_image: int
+    parameters: int
+    quantization_elements_per_image: int
+
+    def table_row(self) -> dict:
+        """Row used by the Table I report."""
+        return {
+            "model": self.name,
+            "L": self.conv_layers,
+            "macs_per_image": self.macs_per_image,
+            "parameters": self.parameters,
+        }
+
+
+def summarize_workloads(name: str, workloads: list[ConvWorkload],
+                        parameters: int = 0) -> ModelSummary:
+    """Summary from a list of per-layer workloads."""
+    return ModelSummary(
+        name=name,
+        conv_layers=len(workloads),
+        macs_per_image=sum(w.macs_per_image for w in workloads),
+        parameters=parameters,
+        quantization_elements_per_image=sum(
+            w.quantization_elements_per_image for w in workloads),
+    )
+
+
+def conv_workloads_from_graph(graph: Graph, *, batch_size: int = 1
+                              ) -> list[ConvWorkload]:
+    """Derive per-layer workloads from the convolution nodes of a graph.
+
+    Uses static shape inference, so every placeholder must have a fully
+    defined shape apart from the batch dimension.  Both accurate ``Conv2D``
+    and approximate ``AxConv2D`` nodes are counted (they describe the same
+    layer workload).
+    """
+    shapes = infer_shapes(graph)
+    workloads: list[ConvWorkload] = []
+    for node in graph.topological_order():
+        if node.op_type not in (Conv2D.op_type, AxConv2D.op_type):
+            continue
+        data, filters = node.inputs[0], node.inputs[1]
+        data_shape = shapes.get(data.name)
+        filter_shape = shapes.get(filters.name)
+        if data_shape is None or filter_shape is None:
+            continue
+        stride = node.strides if isinstance(node.strides, int) else node.strides[0]
+        workloads.append(ConvWorkload(
+            name=node.name,
+            input_height=int(data_shape[1]),
+            input_width=int(data_shape[2]),
+            input_channels=int(data_shape[3]),
+            kernel_height=int(filter_shape[0]),
+            kernel_width=int(filter_shape[1]),
+            output_channels=int(filter_shape[3]),
+            stride=int(stride),
+            padding=node.padding,
+        ))
+    return workloads
+
+
+def count_parameters(graph: Graph) -> int:
+    """Total number of scalar values stored in Constant nodes."""
+    total = 0
+    for node in graph.nodes_by_type("Constant"):
+        total += int(node.value.size)
+    return total

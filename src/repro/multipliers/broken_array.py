@@ -1,0 +1,101 @@
+"""Broken-Array Multiplier (BAM) behavioural model.
+
+The Broken-Array Multiplier (Mahdiani et al., "Bio-inspired imprecise
+computational blocks for efficient VLSI implementation of soft-computing
+applications") starts from a conventional carry-save array multiplier and
+omits carry-save adder cells below a *horizontal break level* (whole
+partial-product rows) and to the right of a *vertical break level* (low-order
+columns).  Each omitted cell saves area and power at the cost of losing the
+corresponding partial-product bit.
+
+The behavioural model used here works directly on the partial-product matrix
+``pp[i, j] = a_i & b_j`` (weight ``2**(i+j)``):
+
+* rows ``j < horizontal_break`` are removed entirely, and
+* of the remaining bits, those falling in columns ``i + j < vertical_break``
+  are removed as well.
+
+This reproduces the characteristic one-sided (always underestimating) error
+profile of the BAM family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Multiplier
+
+
+class BrokenArrayMultiplier(Multiplier):
+    """Array multiplier with omitted low-significance carry-save cells.
+
+    Parameters
+    ----------
+    horizontal_break:
+        Number of partial-product rows (indexed by the bits of operand ``b``)
+        removed from the bottom of the array.
+    vertical_break:
+        Column weight below which the surviving partial-product bits are
+        dropped.
+    """
+
+    def __init__(self, bit_width: int = 8, *, horizontal_break: int = 0,
+                 vertical_break: int = 4, signed: bool = False,
+                 name: str | None = None) -> None:
+        if not 0 <= horizontal_break <= bit_width:
+            raise ConfigurationError(
+                f"horizontal_break {horizontal_break} must lie in [0, {bit_width}]"
+            )
+        if not 0 <= vertical_break <= 2 * bit_width:
+            raise ConfigurationError(
+                f"vertical_break {vertical_break} must lie in [0, {2 * bit_width}]"
+            )
+        self._hbl = int(horizontal_break)
+        self._vbl = int(vertical_break)
+        super().__init__(bit_width, signed=signed, name=name)
+
+    def _default_name(self) -> str:
+        sign = "s" if self.signed else "u"
+        return f"bam_{self.bit_width}{sign}_h{self._hbl}_v{self._vbl}"
+
+    @property
+    def horizontal_break(self) -> int:
+        """Number of omitted partial-product rows."""
+        return self._hbl
+
+    @property
+    def vertical_break(self) -> int:
+        """Column weight below which partial-product bits are omitted."""
+        return self._vbl
+
+    def omitted_cell_count(self) -> int:
+        """Number of partial-product bits removed from the full array.
+
+        This is the quantity BAM papers use as a proxy for the saved area and
+        power; exposing it lets the example scripts plot quality-vs-cost
+        trade-offs without a gate-level model.
+        """
+        n = self.bit_width
+        omitted = 0
+        for j in range(n):
+            for i in range(n):
+                if j < self._hbl or i + j < self._vbl:
+                    omitted += 1
+        return omitted
+
+    def _multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        n = self.bit_width
+        result = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        for j in range(self._hbl, n):
+            b_bit = (b >> j) & 1
+            if not np.any(b_bit):
+                continue
+            row = np.zeros_like(result)
+            for i in range(n):
+                if i + j < self._vbl:
+                    continue
+                a_bit = (a >> i) & 1
+                row += (a_bit & b_bit) << (i + j)
+            result += row
+        return result

@@ -1,0 +1,73 @@
+"""DRUM: Dynamic Range Unbiased Multiplier.
+
+DRUM (Hashemi, Bahar, Reda, ICCAD 2015) approximates a wide multiplication by
+an exact narrow one: each operand is reduced to a ``k``-bit segment that
+starts at its leading one, the removed low part is replaced by setting the
+segment's least-significant bit to one (which makes the expected error of the
+rounding zero, hence "unbiased"), the two segments are multiplied exactly and
+the result is shifted back to the correct magnitude.
+
+Operands that already fit in ``k`` bits are multiplied exactly, so small
+values -- which dominate DNN activations -- incur no error at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Multiplier
+
+
+class DRUMMultiplier(Multiplier):
+    """Dynamic-range unbiased approximate multiplier.
+
+    Parameters
+    ----------
+    segment_bits:
+        Width ``k`` of the exact internal multiplier.  DRUM6 (``k = 6``) is
+        the configuration most frequently quoted for 16-bit operands; for the
+        8-bit operands used by TFApprox, ``k`` of 3 to 6 spans the useful
+        quality range.
+    """
+
+    def __init__(self, bit_width: int = 8, *, segment_bits: int = 4,
+                 signed: bool = False, name: str | None = None) -> None:
+        if not 2 <= segment_bits <= bit_width:
+            raise ConfigurationError(
+                f"segment_bits {segment_bits} must lie in [2, {bit_width}]"
+            )
+        self._segment_bits = int(segment_bits)
+        super().__init__(bit_width, signed=signed, name=name)
+
+    def _default_name(self) -> str:
+        sign = "s" if self.signed else "u"
+        return f"drum_{self.bit_width}{sign}_k{self._segment_bits}"
+
+    @property
+    def segment_bits(self) -> int:
+        """Width of the internal exact multiplier."""
+        return self._segment_bits
+
+    def _approximate_operand(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Reduce operands to unbiased ``k``-bit segments.
+
+        Returns the segment value and the left-shift needed to restore its
+        weight.  Values that fit in ``k`` bits are passed through unchanged
+        with zero shift.
+        """
+        k = self._segment_bits
+        safe = np.maximum(values, 1)
+        msb = np.floor(np.log2(safe)).astype(np.int64)
+        shift = np.maximum(msb - (k - 1), 0)
+        segment = values >> shift
+        # Unbiasing: whenever low bits were discarded, force the segment LSB
+        # to 1 so the truncation error is symmetric around zero.
+        segment = np.where(shift > 0, segment | 1, segment)
+        segment = np.where(values == 0, 0, segment)
+        return segment, shift
+
+    def _multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        seg_a, shift_a = self._approximate_operand(np.asarray(a, dtype=np.int64))
+        seg_b, shift_b = self._approximate_operand(np.asarray(b, dtype=np.int64))
+        return (seg_a * seg_b) << (shift_a + shift_b)

@@ -1,0 +1,74 @@
+"""Kulkarni-style under-designed multiplier (UDM).
+
+Kulkarni, Gupta and Ercegovac ("Trading accuracy for power with an
+under-designed multiplier architecture", VLSI Design 2011) build an ``n x n``
+multiplier recursively from 2x2 blocks, where the 2x2 block is simplified so
+that ``3 x 3`` produces ``7`` (``0b111``) instead of ``9`` (``0b1001``).  This
+single-minterm change removes the fourth output bit of the block, shrinking
+every level of the recursion, and produces errors only when both 2-bit
+sub-operands equal ``3`` -- about 1.3 % of input pairs for the 2x2 block, with
+correspondingly small probabilities after recomposition.
+
+The behavioural model composes the approximate 2x2 block with the exact
+shift-and-add recombination
+
+``P = PH << n + (PM1 + PM2) << n/2 + PL``
+
+at every level, matching the original architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Multiplier
+
+
+def _approx_2x2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Kulkarni's inexact 2x2 block: exact except ``3 * 3 -> 7``."""
+    exact = a * b
+    return np.where((a == 3) & (b == 3), 7, exact)
+
+
+class UnderdesignedMultiplier(Multiplier):
+    """Recursive approximate multiplier built from inexact 2x2 blocks.
+
+    Parameters
+    ----------
+    bit_width:
+        Operand width; must be a power of two (2, 4, 8 or 16) so the
+        recursive halving terminates at the 2x2 base block.
+    """
+
+    def __init__(self, bit_width: int = 8, *, signed: bool = False,
+                 name: str | None = None) -> None:
+        if bit_width not in (2, 4, 8, 16):
+            raise ConfigurationError(
+                "UnderdesignedMultiplier requires a power-of-two bit width "
+                f"(2, 4, 8 or 16), got {bit_width}"
+            )
+        super().__init__(bit_width, signed=signed, name=name)
+
+    def _default_name(self) -> str:
+        sign = "s" if self.signed else "u"
+        return f"udm_{self.bit_width}{sign}"
+
+    def _recursive(self, a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+        if width == 2:
+            return _approx_2x2(a, b)
+        half = width // 2
+        mask = (1 << half) - 1
+        a_lo, a_hi = a & mask, a >> half
+        b_lo, b_hi = b & mask, b >> half
+        p_ll = self._recursive(a_lo, b_lo, half)
+        p_lh = self._recursive(a_lo, b_hi, half)
+        p_hl = self._recursive(a_hi, b_lo, half)
+        p_hh = self._recursive(a_hi, b_hi, half)
+        return (p_hh << width) + ((p_lh + p_hl) << half) + p_ll
+
+    def _multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        shape = np.broadcast(a, b).shape
+        a_b = np.broadcast_to(np.asarray(a, dtype=np.int64), shape)
+        b_b = np.broadcast_to(np.asarray(b, dtype=np.int64), shape)
+        return self._recursive(a_b, b_b, self.bit_width)

@@ -1,0 +1,73 @@
+"""Approximate multiplier built around a Lower-part-OR Adder (LOA) reduction.
+
+The LOA (Mahdiani et al.) approximates the addition of two operands by OR-ing
+their low-order bits (no carry propagation) and adding the high-order bits
+exactly.  When the partial-product reduction tree of a multiplier uses LOA
+cells for its low columns, the carries that would normally ripple out of those
+columns are lost, which yields a small, mostly negative error concentrated in
+the low bits of the product.
+
+The behavioural model below reproduces exactly that: partial-product bits in
+columns below ``lower_bits`` are combined with a column-wise OR (each low
+column of the result is the OR of all its partial-product bits, and no carry
+leaves the column), while columns at or above ``lower_bits`` are accumulated
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Multiplier
+
+
+class LOAMultiplier(Multiplier):
+    """Array multiplier whose low product columns use OR-based accumulation.
+
+    Parameters
+    ----------
+    lower_bits:
+        Number of low-order product columns accumulated with the carry-free
+        OR approximation.
+    """
+
+    def __init__(self, bit_width: int = 8, *, lower_bits: int = 6,
+                 signed: bool = False, name: str | None = None) -> None:
+        if not 0 <= lower_bits <= 2 * bit_width:
+            raise ConfigurationError(
+                f"lower_bits {lower_bits} must lie in [0, {2 * bit_width}]"
+            )
+        self._lower_bits = int(lower_bits)
+        super().__init__(bit_width, signed=signed, name=name)
+
+    def _default_name(self) -> str:
+        sign = "s" if self.signed else "u"
+        return f"loa_{self.bit_width}{sign}_l{self._lower_bits}"
+
+    @property
+    def lower_bits(self) -> int:
+        """Number of product columns using the OR approximation."""
+        return self._lower_bits
+
+    def _multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        n = self.bit_width
+        lower = self._lower_bits
+        shape = np.broadcast(a, b).shape
+        a_b = np.broadcast_to(np.asarray(a, dtype=np.int64), shape)
+        b_b = np.broadcast_to(np.asarray(b, dtype=np.int64), shape)
+
+        high_sum = np.zeros(shape, dtype=np.int64)
+        low_or = np.zeros(shape, dtype=np.int64)
+        for j in range(n):
+            b_bit = (b_b >> j) & 1
+            if not np.any(b_bit):
+                continue
+            for i in range(n):
+                col = i + j
+                pp = ((a_b >> i) & 1) & b_bit
+                if col >= lower:
+                    high_sum += pp << col
+                else:
+                    low_or |= pp << col
+        return high_sum + low_or

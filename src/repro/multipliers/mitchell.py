@@ -1,0 +1,148 @@
+"""Mitchell's logarithmic multiplier.
+
+Mitchell's classic 1962 scheme replaces the multiplication by an addition in
+the logarithmic domain using the piece-wise linear approximation
+``log2(1 + x) ~= x`` for ``x in [0, 1)``:
+
+* each operand ``v`` is written as ``v = 2**k * (1 + x)`` with
+  ``k = floor(log2 v)`` and ``x in [0, 1)``;
+* the approximate product is ``2**(ka+kb) * (1 + xa + xb)`` when
+  ``xa + xb < 1``, and ``2**(ka+kb+1) * (xa + xb)`` otherwise.
+
+The hardware implementation only needs leading-one detectors, shifters and an
+adder, which is why logarithmic multipliers are popular in low-power DNN
+accelerators.  The model below follows the fixed-point formulation with a
+configurable number of fraction bits, so the truth table matches what an RTL
+implementation with the same internal width would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Multiplier
+
+
+class MitchellLogMultiplier(Multiplier):
+    """Mitchell logarithmic approximate multiplier.
+
+    Parameters
+    ----------
+    fraction_bits:
+        Internal fixed-point precision of the mantissa approximation.  The
+        default keeps the full operand precision (``bit_width - 1`` bits),
+        which corresponds to the original Mitchell design; reducing it models
+        the truncated-mantissa variants used in several accelerator papers.
+    iterations:
+        Number of correction iterations of the iterative logarithmic
+        multiplier (Babic et al.).  ``0`` is plain Mitchell; each additional
+        iteration multiplies the residual errors of the previous stage and
+        adds the correction term, roughly halving the worst-case error.
+    """
+
+    def __init__(self, bit_width: int = 8, *, fraction_bits: int | None = None,
+                 iterations: int = 0, signed: bool = False,
+                 name: str | None = None) -> None:
+        if fraction_bits is None:
+            fraction_bits = max(bit_width - 1, 1)
+        if fraction_bits < 1 or fraction_bits > 24:
+            raise ConfigurationError(
+                f"fraction_bits {fraction_bits} must lie in [1, 24]"
+            )
+        if iterations < 0 or iterations > 4:
+            raise ConfigurationError("iterations must lie in [0, 4]")
+        self._fraction_bits = int(fraction_bits)
+        self._iterations = int(iterations)
+        super().__init__(bit_width, signed=signed, name=name)
+
+    def _default_name(self) -> str:
+        sign = "s" if self.signed else "u"
+        suffix = f"_it{self._iterations}" if self._iterations else ""
+        return f"mitchell_{self.bit_width}{sign}_f{self._fraction_bits}{suffix}"
+
+    @property
+    def fraction_bits(self) -> int:
+        """Fixed-point fraction bits of the internal mantissa."""
+        return self._fraction_bits
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterative-logarithmic correction stages."""
+        return self._iterations
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _leading_one(values: np.ndarray) -> np.ndarray:
+        """Position of the most-significant set bit (0 for value 1).
+
+        Zero inputs return 0; callers must mask zero operands separately.
+        """
+        safe = np.maximum(values, 1)
+        return np.floor(np.log2(safe)).astype(np.int64)
+
+    def _mitchell_once(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """One Mitchell approximation pass on non-zero unsigned operands."""
+        frac = self._fraction_bits
+        ka = self._leading_one(a)
+        kb = self._leading_one(b)
+        # Fixed-point mantissas x in [0, 1) with `frac` fraction bits.
+        xa = ((a - (1 << ka).astype(np.int64)) << frac) >> ka
+        xb = ((b - (1 << kb).astype(np.int64)) << frac) >> kb
+        s = xa + xb
+        k = ka + kb
+        one = 1 << frac
+        carry = s >= one
+        # carry == 0:  p = 2**k * (1 + s)      (s interpreted as fraction)
+        # carry == 1:  p = 2**(k+1) * (s - 1 + 1) = 2**(k+1) * s  (Mitchell's
+        # antilog approximation of the wrapped mantissa)
+        mant = np.where(carry, s, one + s)
+        exp = k + carry.astype(np.int64)
+        shift = exp - frac
+        product = np.where(
+            shift >= 0,
+            mant << np.maximum(shift, 0),
+            mant >> np.maximum(-shift, 0),
+        )
+        return product.astype(np.int64)
+
+    def _multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        shape = np.broadcast(a, b).shape
+        a_b = np.broadcast_to(a, shape).astype(np.int64)
+        b_b = np.broadcast_to(b, shape).astype(np.int64)
+        product = np.zeros(shape, dtype=np.int64)
+        nonzero = (a_b > 0) & (b_b > 0)
+        if not np.any(nonzero):
+            return product
+
+        if self._iterations == 0:
+            product[nonzero] = self._mitchell_once(a_b[nonzero], b_b[nonzero])
+            return product
+
+        # Iterative logarithmic multiplier (Babic et al.): write the exact
+        # product as  a*b = 2**(ka+kb) + (a - 2**ka)*2**kb + (b - 2**kb)*2**ka
+        #                    + (a - 2**ka)*(b - 2**kb)
+        # The first three terms form one "basic block"; the residual product
+        # is handled by applying the same block to the residual operands,
+        # `iterations` more times, and dropping the final residual.
+        a_res = a_b[nonzero]
+        b_res = b_b[nonzero]
+        total = np.zeros(a_res.shape, dtype=np.int64)
+        for _ in range(self._iterations + 1):
+            still = (a_res > 0) & (b_res > 0)
+            if not np.any(still):
+                break
+            ka = self._leading_one(a_res)
+            kb = self._leading_one(b_res)
+            term = (
+                (1 << (ka + kb))
+                + ((a_res - (1 << ka)) << kb)
+                + ((b_res - (1 << kb)) << ka)
+            )
+            total = total + np.where(still, term, 0)
+            a_res = np.where(still, a_res - (1 << ka), 0)
+            b_res = np.where(still, b_res - (1 << kb), 0)
+        product[nonzero] = total
+        return product

@@ -1,0 +1,113 @@
+"""Truncation-based approximate multipliers.
+
+Truncation is the simplest family of approximate multipliers: it removes the
+least-significant information either from the operands before the
+multiplication or from the product after it.  Both forms appear throughout
+the approximate-computing literature as the baseline other designs are
+compared against, so the library ships both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Multiplier
+
+
+class TruncatedOperandMultiplier(Multiplier):
+    """Multiplier that zeroes the low bits of each operand before multiplying.
+
+    Dropping ``trunc_a`` bits of operand ``a`` and ``trunc_b`` bits of operand
+    ``b`` corresponds to a hardware multiplier whose low-order partial-product
+    rows and columns are removed entirely, saving the corresponding AND gates
+    and adder cells.
+
+    Parameters
+    ----------
+    trunc_a, trunc_b:
+        Number of least-significant bits removed from each operand.  When
+        ``trunc_b`` is omitted it defaults to ``trunc_a``.
+    """
+
+    def __init__(self, bit_width: int = 8, *, trunc_a: int = 2,
+                 trunc_b: int | None = None, signed: bool = False,
+                 name: str | None = None) -> None:
+        if trunc_b is None:
+            trunc_b = trunc_a
+        if not 0 <= trunc_a < bit_width or not 0 <= trunc_b < bit_width:
+            raise ConfigurationError(
+                f"truncation ({trunc_a}, {trunc_b}) must lie in [0, {bit_width})"
+            )
+        self._trunc_a = int(trunc_a)
+        self._trunc_b = int(trunc_b)
+        super().__init__(bit_width, signed=signed, name=name)
+
+    def _default_name(self) -> str:
+        sign = "s" if self.signed else "u"
+        return f"trunc_op_{self.bit_width}{sign}_{self._trunc_a}_{self._trunc_b}"
+
+    @property
+    def trunc_a(self) -> int:
+        """Bits removed from operand ``a``."""
+        return self._trunc_a
+
+    @property
+    def trunc_b(self) -> int:
+        """Bits removed from operand ``b``."""
+        return self._trunc_b
+
+    def _multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        mask_a = ~((1 << self._trunc_a) - 1) if self._trunc_a else -1
+        mask_b = ~((1 << self._trunc_b) - 1) if self._trunc_b else -1
+        return (a & mask_a) * (b & mask_b)
+
+
+class TruncatedProductMultiplier(Multiplier):
+    """Multiplier that computes the exact product and zeroes its low bits.
+
+    This models a fixed-width multiplier whose low-order output columns are
+    not produced at all (the usual "truncated multiplier" of DSP datapaths).
+    An optional constant compensation term re-centres the error, mimicking
+    the correction constant added by truncated multipliers with error
+    compensation.
+    """
+
+    def __init__(self, bit_width: int = 8, *, dropped_bits: int = 4,
+                 compensate: bool = False, signed: bool = False,
+                 name: str | None = None) -> None:
+        if not 0 <= dropped_bits < 2 * bit_width:
+            raise ConfigurationError(
+                f"dropped_bits {dropped_bits} must lie in [0, {2 * bit_width})"
+            )
+        self._dropped_bits = int(dropped_bits)
+        self._compensate = bool(compensate)
+        super().__init__(bit_width, signed=signed, name=name)
+
+    def _default_name(self) -> str:
+        sign = "s" if self.signed else "u"
+        comp = "c" if self._compensate else ""
+        return f"trunc_prod_{self.bit_width}{sign}_{self._dropped_bits}{comp}"
+
+    @property
+    def dropped_bits(self) -> int:
+        """Number of least-significant product bits forced to zero."""
+        return self._dropped_bits
+
+    @property
+    def compensated(self) -> bool:
+        """Whether the average truncation error is compensated."""
+        return self._compensate
+
+    def _multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        product = a * b
+        if self._dropped_bits == 0:
+            return product
+        mask = ~((1 << self._dropped_bits) - 1)
+        truncated = product & mask
+        if self._compensate:
+            # The mean value removed by zeroing d uniformly distributed bits
+            # is (2**d - 1) / 2; adding it back halves the mean error without
+            # requiring any data-dependent hardware.
+            truncated = truncated + ((1 << self._dropped_bits) - 1) // 2
+        return truncated

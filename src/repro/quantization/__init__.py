@@ -1,0 +1,25 @@
+"""Affine quantisation (Eq. 1), rounding modes and range tracking."""
+
+from .affine import (
+    IntegerRange,
+    QuantParams,
+    SIGNED_8BIT,
+    UNSIGNED_8BIT,
+    compute_coeffs,
+    compute_coeffs_from_tensor,
+)
+from .ranges import RangeTracker, TensorRange
+from .rounding import RoundMode, apply_rounding
+
+__all__ = [
+    "IntegerRange",
+    "QuantParams",
+    "SIGNED_8BIT",
+    "UNSIGNED_8BIT",
+    "compute_coeffs",
+    "compute_coeffs_from_tensor",
+    "TensorRange",
+    "RangeTracker",
+    "RoundMode",
+    "apply_rounding",
+]

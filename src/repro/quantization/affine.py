@@ -1,0 +1,202 @@
+"""Affine quantisation scheme of Eq. 1 of the paper.
+
+A real number ``r`` is represented by an integer ``i`` through
+
+    ``r = alpha * (i - beta)``
+
+where ``alpha`` (the *scale*) is a positive real and ``beta`` (the
+*zero-point*) is an integer of the same type as ``i``.  The constants are
+chosen so that the real value ``0`` is exactly representable, which matters
+because zero-padding and ReLU-produced zeros must not inject a quantisation
+error into subsequent layers.
+
+:func:`compute_coeffs` is the ``ComputeCoeffs`` step of Algorithm 1; it turns
+the per-tensor ``(min, max)`` range delivered by the graph's ``Min``/``Max``
+nodes into a :class:`QuantParams` pair, and :class:`QuantParams` provides the
+quantise/dequantise primitives every emulation engine shares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError
+from .rounding import RoundMode, apply_rounding
+
+
+@dataclass(frozen=True)
+class IntegerRange:
+    """Representable range of the quantised values.
+
+    The paper supports both signed multipliers (operands in ``[-128, 127]``)
+    and unsigned multipliers (operands in ``[0, 255]``); the emulator needs to
+    know which one it is targeting to choose the quantised range.
+    """
+
+    qmin: int
+    qmax: int
+
+    def __post_init__(self) -> None:
+        if self.qmin >= self.qmax:
+            raise QuantizationError(
+                f"empty quantised range [{self.qmin}, {self.qmax}]"
+            )
+
+    @property
+    def levels(self) -> int:
+        """Number of representable integer levels."""
+        return self.qmax - self.qmin + 1
+
+    @property
+    def signed(self) -> bool:
+        """True when the range includes negative values."""
+        return self.qmin < 0
+
+    @classmethod
+    def for_bits(cls, bits: int = 8, *, signed: bool = True) -> "IntegerRange":
+        """Range of a ``bits``-wide two's-complement or unsigned integer."""
+        if bits < 2 or bits > 16:
+            raise QuantizationError(f"bit width {bits} outside [2, 16]")
+        if signed:
+            return cls(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+        return cls(0, (1 << bits) - 1)
+
+
+#: The two ranges named explicitly in the paper.
+SIGNED_8BIT = IntegerRange.for_bits(8, signed=True)
+UNSIGNED_8BIT = IntegerRange.for_bits(8, signed=False)
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale/zero-point pair of the affine transformation ``r = alpha*(i - beta)``."""
+
+    scale: float
+    zero_point: int
+    qrange: IntegerRange
+    round_mode: RoundMode = RoundMode.HALF_AWAY_FROM_ZERO
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.scale) or self.scale <= 0.0:
+            raise QuantizationError(f"scale must be a positive finite number, got {self.scale}")
+        if not self.qrange.qmin <= self.zero_point <= self.qrange.qmax:
+            raise QuantizationError(
+                f"zero point {self.zero_point} outside quantised range "
+                f"[{self.qrange.qmin}, {self.qrange.qmax}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> float:
+        """Alias matching the paper's notation for the scale."""
+        return self.scale
+
+    @property
+    def beta(self) -> int:
+        """Alias matching the paper's notation for the zero-point."""
+        return self.zero_point
+
+    # ------------------------------------------------------------------
+    def quantize(self, values: np.ndarray, *,
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+        """Map real values to quantised integers (with clipping).
+
+        Implements ``i = clip(round(r / alpha) + beta)``.  The result dtype is
+        ``int64`` so it can feed any multiplier bit width.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size and not np.all(np.isfinite(values)):
+            raise QuantizationError("cannot quantise non-finite values")
+        scaled = values / self.scale
+        rounded = apply_rounding(scaled, self.round_mode, rng=rng) + self.zero_point
+        return np.clip(rounded, self.qrange.qmin, self.qrange.qmax)
+
+    def dequantize(self, values: np.ndarray) -> np.ndarray:
+        """Map quantised integers back to real values: ``r = alpha * (i - beta)``."""
+        values = np.asarray(values, dtype=np.float64)
+        return self.scale * (values - self.zero_point)
+
+    def fake_quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantise and immediately dequantise (TensorFlow's fake-quant path).
+
+        The paper states that with an accurate multiplier the approximate
+        layer matches "the quantization followed by dequantization available
+        in TensorFlow"; this helper is that reference behaviour.
+        """
+        return self.dequantize(self.quantize(values))
+
+    def representable_zero(self) -> float:
+        """Real value the zero-point maps to (exactly 0 by construction)."""
+        return self.dequantize(np.asarray(self.zero_point)).item()
+
+    def real_range(self) -> tuple[float, float]:
+        """Real-valued interval covered by the quantised range."""
+        lo = self.dequantize(np.asarray(self.qrange.qmin)).item()
+        hi = self.dequantize(np.asarray(self.qrange.qmax)).item()
+        return lo, hi
+
+    def quantization_step(self) -> float:
+        """Width of one quantisation bin (equals the scale)."""
+        return self.scale
+
+
+def compute_coeffs(range_min: float, range_max: float, *,
+                   qrange: IntegerRange = SIGNED_8BIT,
+                   round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                   ) -> QuantParams:
+    """Derive the affine coefficients from a tensor's real-valued range.
+
+    This is ``ComputeCoeffs`` of Algorithm 1.  The range is first *nudged* so
+    it contains zero (a requirement stated explicitly in Section II), then the
+    scale is chosen to spread the range over all integer levels and the
+    zero-point is rounded to the nearest integer that keeps ``0`` exactly
+    representable.
+
+    Degenerate ranges (all values identical, e.g. an all-zero tensor) fall
+    back to a unit scale so downstream arithmetic stays well defined.
+    """
+    if not (math.isfinite(range_min) and math.isfinite(range_max)):
+        raise QuantizationError(
+            f"tensor range [{range_min}, {range_max}] is not finite"
+        )
+    if range_min > range_max:
+        raise QuantizationError(
+            f"tensor range is inverted: min {range_min} > max {range_max}"
+        )
+    round_mode = RoundMode.from_any(round_mode)
+
+    # Zero must be representable: extend the range to include it.
+    range_min = min(range_min, 0.0)
+    range_max = max(range_max, 0.0)
+
+    if range_max == range_min:
+        # Degenerate (all-zero) tensor: any positive scale works; pick 1.0 and
+        # put the zero-point at the closest representable integer to zero.
+        zero_point = int(np.clip(0, qrange.qmin, qrange.qmax))
+        return QuantParams(1.0, zero_point, qrange, round_mode)
+
+    scale = (range_max - range_min) / (qrange.qmax - qrange.qmin)
+    # The zero-point is the (integer) quantised value that represents r == 0.
+    zero_point_real = qrange.qmin - range_min / scale
+    zero_point = int(round(zero_point_real))
+    zero_point = int(np.clip(zero_point, qrange.qmin, qrange.qmax))
+    return QuantParams(scale, zero_point, qrange, round_mode)
+
+
+def compute_coeffs_from_tensor(values: np.ndarray, *,
+                               qrange: IntegerRange = SIGNED_8BIT,
+                               round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                               ) -> QuantParams:
+    """Convenience wrapper deriving the coefficients directly from a tensor."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise QuantizationError("cannot derive a range from an empty tensor")
+    if not np.all(np.isfinite(values)):
+        raise QuantizationError("tensor contains non-finite values")
+    return compute_coeffs(
+        float(values.min()), float(values.max()),
+        qrange=qrange, round_mode=round_mode,
+    )

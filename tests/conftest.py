@@ -1,0 +1,41 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lut import LookupTable
+from repro.multipliers import ExactMultiplier, library
+
+
+@pytest.fixture(scope="session")
+def exact_lut_signed() -> LookupTable:
+    """Signed 8-bit exact-multiplier lookup table (built once per session)."""
+    return LookupTable.from_multiplier(ExactMultiplier(8, signed=True))
+
+
+@pytest.fixture(scope="session")
+def exact_lut_unsigned() -> LookupTable:
+    """Unsigned 8-bit exact-multiplier lookup table."""
+    return LookupTable.from_multiplier(ExactMultiplier(8, signed=False))
+
+
+@pytest.fixture(scope="session")
+def mitchell_lut_signed() -> LookupTable:
+    """Signed Mitchell logarithmic multiplier table (a realistic approximate LUT)."""
+    return LookupTable.from_multiplier(library.create("mul8s_mitchell"))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_conv_case(rng):
+    """A small NHWC input / HWCK filter pair used across engine tests."""
+    inputs = rng.normal(size=(2, 9, 9, 3))
+    filters = rng.normal(size=(3, 3, 3, 4))
+    return inputs, filters

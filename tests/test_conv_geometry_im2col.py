@@ -1,0 +1,125 @@
+"""Tests of convolution geometry, padding and the im2col transformation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import (
+    conv2d_float,
+    filter_sums,
+    flatten_filters,
+    im2col,
+    im2col_quantized,
+    resolve_geometry,
+)
+from repro.errors import ConfigurationError, ShapeError
+from repro.quantization import SIGNED_8BIT, compute_coeffs_from_tensor
+
+
+class TestGeometry:
+    def test_same_padding_preserves_size_stride1(self):
+        g = resolve_geometry(32, 32, 3, 3, strides=(1, 1), padding="SAME")
+        assert (g.output_height, g.output_width) == (32, 32)
+        assert (g.pad_top, g.pad_bottom, g.pad_left, g.pad_right) == (1, 1, 1, 1)
+
+    def test_same_padding_stride2(self):
+        g = resolve_geometry(32, 32, 3, 3, strides=(2, 2), padding="SAME")
+        assert (g.output_height, g.output_width) == (16, 16)
+
+    def test_same_padding_asymmetric(self):
+        # Even kernel on odd input: extra pixel goes bottom/right (TF rule).
+        g = resolve_geometry(5, 5, 2, 2, strides=(1, 1), padding="SAME")
+        assert (g.pad_top, g.pad_bottom) == (0, 1)
+
+    def test_valid_padding(self):
+        g = resolve_geometry(32, 32, 3, 3, padding="VALID")
+        assert (g.output_height, g.output_width) == (30, 30)
+        assert g.pad_top == g.pad_left == 0
+
+    def test_valid_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            resolve_geometry(4, 4, 5, 5, padding="VALID")
+
+    def test_dilation_effective_size(self):
+        g = resolve_geometry(32, 32, 3, 3, dilations=(2, 2), padding="VALID")
+        assert (g.output_height, g.output_width) == (28, 28)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            resolve_geometry(8, 8, 3, 3, padding="FULL")
+        with pytest.raises(ConfigurationError):
+            resolve_geometry(8, 8, 3, 3, strides=(0, 1))
+        with pytest.raises(ShapeError):
+            resolve_geometry(0, 8, 3, 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(size=st.integers(min_value=4, max_value=40),
+           kernel=st.integers(min_value=1, max_value=5),
+           stride=st.integers(min_value=1, max_value=3))
+    def test_same_output_size_formula(self, size, kernel, stride):
+        g = resolve_geometry(size, size, kernel, kernel,
+                             strides=(stride, stride), padding="SAME")
+        assert g.output_height == -(-size // stride)
+
+
+class TestIm2Col:
+    def test_patch_matrix_shape(self, rng):
+        x = rng.normal(size=(2, 8, 8, 3))
+        patches, g = im2col(x, 3, 3, padding="SAME")
+        assert patches.shape == (2 * 64, 27)
+        assert g.patch_positions == 64
+
+    def test_im2col_gemm_equals_direct_conv(self, small_conv_case):
+        inputs, filters = small_conv_case
+        patches, g = im2col(inputs, 3, 3, padding="SAME")
+        out = patches @ flatten_filters(filters)
+        out = out.reshape(inputs.shape[0], g.output_height, g.output_width, 4)
+        np.testing.assert_allclose(out, conv2d_float(inputs, filters), rtol=1e-10)
+
+    def test_valid_padding_patches_match_input_windows(self, rng):
+        x = rng.normal(size=(1, 4, 4, 1))
+        patches, _ = im2col(x, 3, 3, padding="VALID")
+        expected_first = x[0, 0:3, 0:3, 0].reshape(-1)
+        np.testing.assert_allclose(patches[0], expected_first)
+
+    def test_non_4d_input_rejected(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((4, 4, 3)), 3, 3)
+
+    def test_quantized_pads_with_zero_point(self, rng):
+        x = rng.uniform(0.5, 1.5, size=(1, 4, 4, 1))  # strictly positive
+        qparams = compute_coeffs_from_tensor(x, qrange=SIGNED_8BIT)
+        patches, sums, _ = im2col_quantized(x, 3, 3, qparams, padding="SAME")
+        # Corner patches contain padded positions; they must hold the
+        # zero-point (which dequantises to exactly 0).
+        assert (patches == qparams.zero_point).any()
+
+    def test_quantized_patch_sums_match_rows(self, rng):
+        x = rng.normal(size=(2, 6, 6, 2))
+        qparams = compute_coeffs_from_tensor(x)
+        patches, sums, _ = im2col_quantized(x, 3, 3, qparams)
+        np.testing.assert_array_equal(sums, patches.sum(axis=1))
+
+    def test_filter_helpers(self, rng):
+        filters = rng.integers(-5, 5, size=(3, 3, 2, 4))
+        flat = flatten_filters(filters)
+        assert flat.shape == (18, 4)
+        np.testing.assert_array_equal(filter_sums(flat),
+                                      filters.reshape(-1, 4).sum(axis=0))
+        with pytest.raises(ShapeError):
+            flatten_filters(np.zeros((3, 3, 2)))
+        with pytest.raises(ShapeError):
+            filter_sums(np.zeros((3, 3, 2, 4)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(h=st.integers(min_value=4, max_value=10),
+           w=st.integers(min_value=4, max_value=10),
+           c=st.integers(min_value=1, max_value=3),
+           stride=st.integers(min_value=1, max_value=2))
+    def test_im2col_row_count_property(self, h, w, c, stride):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, h, w, c))
+        patches, g = im2col(x, 3, 3, strides=(stride, stride), padding="SAME")
+        assert patches.shape == (g.output_height * g.output_width, 9 * c)

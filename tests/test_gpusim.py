@@ -1,0 +1,180 @@
+"""Tests of the simulated GPU device, kernels and timing model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conv import approx_conv2d
+from repro.errors import ConfigurationError, DeviceError
+from repro.gpusim import (
+    GPUConvolutionEngine,
+    GPUConvRunReport,
+    GPUDevice,
+    GPUTimingModel,
+    PhaseTimes,
+    run_approx_gemm_kernel,
+    run_im2cols_kernel,
+)
+from repro.hwspec import GPUSpec
+from repro.quantization import compute_coeffs_from_tensor
+from repro.workload import ConvWorkload
+
+
+class TestGPUDevice:
+    def test_launch_config_1d(self):
+        dev = GPUDevice()
+        grid, block = dev.launch_config_1d(1000, block_size=256)
+        assert grid == (4, 1, 1) and block == (256, 1, 1)
+
+    def test_launch_config_validation(self):
+        dev = GPUDevice()
+        with pytest.raises(DeviceError):
+            dev.launch_config_1d(10, block_size=100)  # not a warp multiple
+        with pytest.raises(DeviceError):
+            dev.launch_config_1d(10, block_size=4096)
+        with pytest.raises(DeviceError):
+            dev.launch_config_2d(10, 10, tile=64)
+
+    def test_texture_binding_reuse(self, exact_lut_signed):
+        dev = GPUDevice()
+        t1 = dev.bind_texture(exact_lut_signed)
+        t2 = dev.bind_texture(exact_lut_signed)
+        assert t1 is t2
+        assert dev.texture(exact_lut_signed.name) is t1
+        with pytest.raises(DeviceError):
+            dev.texture("unbound")
+
+    def test_occupancy_bounds(self):
+        dev = GPUDevice()
+        _, block = dev.launch_config_1d(128)
+        from repro.gpusim.device import KernelLaunch
+        tiny = KernelLaunch("k", (1, 1, 1), (32, 1, 1))
+        huge = KernelLaunch("k", (10_000, 1, 1), (256, 1, 1))
+        assert 0.0 < dev.occupancy(tiny) < dev.occupancy(huge) <= 1.0
+
+    def test_reset_clears_state(self, exact_lut_signed):
+        dev = GPUDevice()
+        dev.bind_texture(exact_lut_signed)
+        dev.counters.texture_fetches = 10
+        dev.reset()
+        assert dev.counters.texture_fetches == 0
+        with pytest.raises(DeviceError):
+            dev.texture(exact_lut_signed.name)
+
+
+class TestKernels:
+    def test_im2cols_kernel_matches_host_im2col(self, rng, exact_lut_signed):
+        from repro.conv import im2col_quantized
+        dev = GPUDevice()
+        chunk = rng.normal(size=(2, 6, 6, 3))
+        qparams = compute_coeffs_from_tensor(chunk)
+        result = run_im2cols_kernel(dev, chunk, 3, 3, qparams)
+        patches, sums, _ = im2col_quantized(chunk, 3, 3, qparams)
+        np.testing.assert_array_equal(result.patches, patches)
+        np.testing.assert_array_equal(result.patch_sums, sums)
+        assert result.atomic_adds > 0
+        assert dev.counters.kernel_launches == 1
+
+    def test_gemm_kernel_matches_host_gemm(self, rng, mitchell_lut_signed):
+        from repro.conv import approx_gemm, filter_sums
+        dev = GPUDevice()
+        patches = rng.integers(-128, 128, size=(40, 27))
+        sums = patches.sum(axis=1)
+        filters = rng.integers(-128, 128, size=(27, 5))
+        f_sums = filter_sums(filters)
+        iq = compute_coeffs_from_tensor(rng.normal(size=10))
+        fq = compute_coeffs_from_tensor(rng.normal(size=10))
+        result = run_approx_gemm_kernel(
+            dev, patches, sums, filters, f_sums, iq, fq, mitchell_lut_signed)
+        host = approx_gemm(patches, sums, filters, f_sums, iq, fq,
+                           mitchell_lut_signed)
+        np.testing.assert_allclose(result.output, host, atol=1e-9)
+        assert result.texture_fetches == 40 * 5 * 27
+        assert dev.counters.texture_fetches == 40 * 5 * 27
+
+    def test_gemm_kernel_shape_validation(self, rng, exact_lut_signed):
+        dev = GPUDevice()
+        iq = compute_coeffs_from_tensor(rng.normal(size=4))
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            run_approx_gemm_kernel(dev, np.zeros((4, 3)), np.zeros(4),
+                                   np.zeros((5, 2)), np.zeros(2), iq, iq,
+                                   exact_lut_signed)
+
+
+class TestGPUEngine:
+    def test_engine_matches_numpy_reference(self, rng, mitchell_lut_signed):
+        engine = GPUConvolutionEngine(chunk_size=2)
+        inputs = rng.normal(size=(5, 7, 7, 3))
+        filters = rng.normal(size=(3, 3, 3, 4))
+        report = GPUConvRunReport()
+        gpu_out = engine.approx_conv2d(inputs, filters, mitchell_lut_signed,
+                                       report=report)
+        ref = approx_conv2d(inputs, filters, mitchell_lut_signed, chunk_size=2)
+        np.testing.assert_allclose(gpu_out, ref, atol=1e-9)
+        assert report.chunks == 3
+        assert report.kernel_launches == 6
+        assert report.lut_name == mitchell_lut_signed.name
+
+    def test_engine_validation(self, rng, exact_lut_unsigned):
+        engine = GPUConvolutionEngine()
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            engine.approx_conv2d(np.zeros((1, 4, 4)), np.zeros((3, 3, 1, 1)),
+                                 exact_lut_unsigned)
+        with pytest.raises(ConfigurationError):
+            GPUConvolutionEngine(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            engine.approx_conv2d(rng.normal(size=(1, 4, 4, 1)),
+                                 rng.normal(size=(3, 3, 1, 1)),
+                                 exact_lut_unsigned)  # signed default range
+
+
+class TestGPUTimingModel:
+    WORKLOAD = [ConvWorkload("conv", 32, 32, 16, 3, 3, 32)]
+
+    def test_phase_times_accounting(self):
+        times = PhaseTimes(1.0, 2.0, 3.0, 4.0)
+        assert times.compute == 9.0
+        assert times.total == 10.0
+        assert sum(times.breakdown().values()) == pytest.approx(1.0)
+        assert times.scaled(2.0).total == 20.0
+
+    def test_compute_scales_linearly_with_images(self):
+        model = GPUTimingModel()
+        small = model.approximate_inference(self.WORKLOAD, 100)
+        large = model.approximate_inference(self.WORKLOAD, 1000)
+        assert large.compute == pytest.approx(10 * small.compute, rel=0.01)
+        # Initialisation does not scale with the dataset.
+        assert large.initialization == pytest.approx(small.initialization, rel=0.05)
+
+    def test_approximate_slower_than_accurate(self):
+        model = GPUTimingModel()
+        accurate = model.accurate_inference(self.WORKLOAD, 1000)
+        approximate = model.approximate_inference(self.WORKLOAD, 1000)
+        assert approximate.compute > accurate.compute
+
+    def test_lut_content_does_not_matter_only_workload(self):
+        # The timing model depends only on the workload, mirroring the paper's
+        # observation that the LUT content has no impact on execution time.
+        model = GPUTimingModel()
+        a = model.approximate_inference(self.WORKLOAD, 500)
+        b = model.approximate_inference(list(self.WORKLOAD), 500)
+        assert a == b
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            GPUTimingModel(gemm_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            GPUTimingModel(quant_elements_per_second=-1)
+        model = GPUTimingModel()
+        with pytest.raises(ConfigurationError):
+            model.approximate_inference(self.WORKLOAD, 100, chunk_size=0)
+
+    def test_custom_spec_changes_throughput(self):
+        slow_spec = GPUSpec(name="slow", sm_count=4)
+        fast = GPUTimingModel()
+        slow = GPUTimingModel(slow_spec)
+        assert slow.approximate_inference(self.WORKLOAD, 100).compute > \
+            fast.approximate_inference(self.WORKLOAD, 100).compute

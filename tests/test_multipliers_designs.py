@@ -1,0 +1,229 @@
+"""Tests of the concrete approximate multiplier designs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.multipliers import (
+    BitFlipMultiplier,
+    BoundedNoiseMultiplier,
+    BrokenArrayMultiplier,
+    DRUMMultiplier,
+    LOAMultiplier,
+    MitchellLogMultiplier,
+    TruncatedOperandMultiplier,
+    TruncatedProductMultiplier,
+    UnderdesignedMultiplier,
+    error_report,
+)
+
+OPERANDS_8U = st.integers(min_value=0, max_value=255)
+
+
+class TestTruncatedMultipliers:
+    def test_operand_truncation_zeroes_low_bits(self):
+        m = TruncatedOperandMultiplier(8, trunc_a=2, trunc_b=3)
+        assert m.multiply(0b11111111, 0b11111111) == 0b11111100 * 0b11111000
+
+    def test_zero_truncation_is_exact(self):
+        m = TruncatedOperandMultiplier(8, trunc_a=0)
+        a = np.arange(0, 256, 7)
+        np.testing.assert_array_equal(m.multiply(a, a), a * a)
+
+    def test_product_truncation_drops_low_bits(self):
+        m = TruncatedProductMultiplier(8, dropped_bits=4)
+        assert m.multiply(255, 255) == (255 * 255) & ~0xF
+
+    def test_compensation_reduces_mean_error(self):
+        plain = error_report(TruncatedProductMultiplier(8, dropped_bits=6))
+        comp = error_report(TruncatedProductMultiplier(8, dropped_bits=6,
+                                                       compensate=True))
+        assert abs(comp.mean_error) < abs(plain.mean_error)
+
+    def test_invalid_truncation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedOperandMultiplier(8, trunc_a=8)
+        with pytest.raises(ConfigurationError):
+            TruncatedProductMultiplier(8, dropped_bits=16)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=OPERANDS_8U, b=OPERANDS_8U)
+    def test_operand_truncation_never_overestimates(self, a, b):
+        m = TruncatedOperandMultiplier(8, trunc_a=2)
+        assert m.multiply(a, b) <= a * b
+
+
+class TestBrokenArrayMultiplier:
+    def test_no_breaks_is_exact(self):
+        m = BrokenArrayMultiplier(8, horizontal_break=0, vertical_break=0)
+        a = np.arange(0, 256, 5)
+        np.testing.assert_array_equal(m.multiply(a, a[::-1]), a * a[::-1])
+
+    def test_vertical_break_underestimates(self):
+        m = BrokenArrayMultiplier(8, vertical_break=6)
+        report = error_report(m)
+        assert report.mean_error <= 0.0
+        assert report.error_probability > 0.0
+
+    def test_omitted_cell_count_grows_with_breaks(self):
+        small = BrokenArrayMultiplier(8, vertical_break=2)
+        large = BrokenArrayMultiplier(8, vertical_break=8)
+        assert large.omitted_cell_count() > small.omitted_cell_count()
+
+    def test_invalid_breaks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BrokenArrayMultiplier(8, horizontal_break=9)
+        with pytest.raises(ConfigurationError):
+            BrokenArrayMultiplier(8, vertical_break=17)
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=OPERANDS_8U, b=OPERANDS_8U)
+    def test_bam_never_overestimates(self, a, b):
+        m = BrokenArrayMultiplier(8, horizontal_break=1, vertical_break=4)
+        assert m.multiply(a, b) <= a * b
+
+
+class TestMitchellMultiplier:
+    def test_powers_of_two_exact(self):
+        m = MitchellLogMultiplier(8)
+        for a in (1, 2, 4, 8, 16, 32, 64, 128):
+            for b in (1, 2, 4, 8, 16, 32, 64, 128):
+                if a * b <= 65535:
+                    assert m.multiply(a, b) == a * b
+
+    def test_zero_operand_gives_zero(self):
+        m = MitchellLogMultiplier(8)
+        assert m.multiply(0, 200) == 0
+        assert m.multiply(37, 0) == 0
+
+    def test_mean_relative_error_in_expected_band(self):
+        # Mitchell's multiplier has a well-known mean relative error close to
+        # 3.8 % and never overestimates the product.
+        report = error_report(MitchellLogMultiplier(8))
+        assert 0.02 < report.mean_relative_error < 0.06
+
+    def test_mitchell_underestimates(self):
+        report = error_report(MitchellLogMultiplier(8))
+        assert report.mean_error <= 0.0
+
+    def test_iterative_variant_is_more_accurate(self):
+        base = error_report(MitchellLogMultiplier(8))
+        improved = error_report(MitchellLogMultiplier(8, iterations=1))
+        assert improved.mean_absolute_error < base.mean_absolute_error
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MitchellLogMultiplier(8, fraction_bits=0)
+        with pytest.raises(ConfigurationError):
+            MitchellLogMultiplier(8, iterations=9)
+
+
+class TestDRUMMultiplier:
+    def test_small_operands_exact(self):
+        m = DRUMMultiplier(8, segment_bits=4)
+        for a in range(16):
+            for b in range(16):
+                assert m.multiply(a, b) == a * b
+
+    def test_relative_error_bounded(self):
+        m = DRUMMultiplier(8, segment_bits=4)
+        report = error_report(m)
+        # Each operand is approximated within ~2^-(k-1), so the product error
+        # is bounded by roughly (1 + 2^-(k-1))^2 - 1 (~27 % for k = 4).
+        assert report.worst_case_relative_error < 0.28
+        assert report.mean_relative_error < 0.07
+
+    def test_larger_segment_more_accurate(self):
+        coarse = error_report(DRUMMultiplier(8, segment_bits=3))
+        fine = error_report(DRUMMultiplier(8, segment_bits=6))
+        assert fine.mean_absolute_error < coarse.mean_absolute_error
+
+    def test_low_bias(self):
+        # The unbiasing LSB trick keeps the mean error small relative to MAE.
+        report = error_report(DRUMMultiplier(8, segment_bits=4))
+        assert abs(report.mean_error) < report.mean_absolute_error
+
+    def test_invalid_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRUMMultiplier(8, segment_bits=1)
+        with pytest.raises(ConfigurationError):
+            DRUMMultiplier(8, segment_bits=9)
+
+
+class TestLOAMultiplier:
+    def test_zero_lower_bits_exact(self):
+        m = LOAMultiplier(8, lower_bits=0)
+        a = np.arange(0, 256, 11)
+        np.testing.assert_array_equal(m.multiply(a, a), a * a)
+
+    def test_more_lower_bits_more_error(self):
+        small = error_report(LOAMultiplier(8, lower_bits=4))
+        large = error_report(LOAMultiplier(8, lower_bits=10))
+        assert large.mean_absolute_error >= small.mean_absolute_error
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=OPERANDS_8U, b=OPERANDS_8U)
+    def test_loa_never_overestimates(self, a, b):
+        # Dropping carries can only lose weight from the product.
+        m = LOAMultiplier(8, lower_bits=6)
+        assert m.multiply(a, b) <= a * b
+
+
+class TestUnderdesignedMultiplier:
+    def test_2x2_base_case(self):
+        m = UnderdesignedMultiplier(2)
+        assert m.multiply(3, 3) == 7
+        assert m.multiply(2, 3) == 6
+        assert m.multiply(3, 2) == 6
+
+    def test_error_probability_matches_literature(self):
+        # The 2x2 block errs on 1 of 16 input pairs; composing it to 8x8
+        # raises the output error probability to roughly half of all input
+        # pairs while the *magnitude* of the error stays small (a few percent
+        # mean relative error), which is the behaviour Kulkarni et al. exploit.
+        report = error_report(UnderdesignedMultiplier(8))
+        assert 0.2 < report.error_probability < 0.6
+        assert report.mean_relative_error < 0.05
+
+    def test_underestimates_only(self):
+        report = error_report(UnderdesignedMultiplier(8))
+        assert report.mean_error <= 0.0
+
+    def test_requires_power_of_two_width(self):
+        with pytest.raises(ConfigurationError):
+            UnderdesignedMultiplier(6)
+
+
+class TestSyntheticErrorMultipliers:
+    def test_bitflip_zero_probability_is_exact(self):
+        m = BitFlipMultiplier(8, flip_probability=0.0)
+        a = np.arange(0, 256, 3)
+        np.testing.assert_array_equal(m.multiply(a, a), a * a)
+
+    def test_bitflip_is_deterministic(self):
+        m1 = BitFlipMultiplier(8, flip_probability=0.05, seed=3)
+        m2 = BitFlipMultiplier(8, flip_probability=0.05, seed=3)
+        np.testing.assert_array_equal(m1.truth_table(), m2.truth_table())
+
+    def test_bitflip_seed_changes_pattern(self):
+        m1 = BitFlipMultiplier(8, flip_probability=0.05, seed=3)
+        m2 = BitFlipMultiplier(8, flip_probability=0.05, seed=4)
+        assert np.any(m1.truth_table() != m2.truth_table())
+
+    def test_bounded_noise_respects_bound(self):
+        m = BoundedNoiseMultiplier(8, max_error=32, seed=1)
+        report = error_report(m)
+        assert report.worst_case_error <= 32
+
+    def test_noise_zero_is_exact(self):
+        m = BoundedNoiseMultiplier(8, max_error=0)
+        assert error_report(m).error_probability == 0.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitFlipMultiplier(8, flip_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            BoundedNoiseMultiplier(8, max_error=-1)

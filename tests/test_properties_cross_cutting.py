@@ -1,0 +1,121 @@
+"""Cross-cutting property-based tests tying several subsystems together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import approx_conv2d, conv2d_float, lut_matmul
+from repro.graph import Executor, Graph, approximate_graph
+from repro.graph.ops import Constant, Conv2D, Placeholder, ReLU
+from repro.lut import LookupTable
+from repro.multipliers import (
+    BoundedNoiseMultiplier,
+    TruncatedProductMultiplier,
+    error_report,
+    library,
+)
+from repro.quantization import compute_coeffs_from_tensor
+
+
+@settings(max_examples=30, deadline=None)
+@given(max_error=st.integers(min_value=0, max_value=200),
+       seed=st.integers(min_value=0, max_value=99))
+def test_lut_matmul_error_bounded_by_wce_times_depth(max_error, seed):
+    """An integer LUT dot product can be wrong by at most WCE per term."""
+    multiplier = BoundedNoiseMultiplier(8, max_error=max_error, seed=seed)
+    lut = LookupTable.from_multiplier(multiplier)
+    wce = error_report(multiplier).worst_case_error
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(4, 12))
+    b = rng.integers(0, 256, size=(12, 3))
+    approx = lut_matmul(a, b, lut)
+    exact = a @ b
+    assert np.max(np.abs(approx - exact)) <= wce * a.shape[1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(dropped=st.integers(min_value=0, max_value=8),
+       seed=st.integers(min_value=0, max_value=50))
+def test_conv_error_scales_with_multiplier_error(dropped, seed):
+    """A much coarser product truncation always increases the convolution error.
+
+    Mild truncation levels can swap order with each other because their error
+    is comparable to the 8-bit quantisation noise, so the property compares
+    every level against a clearly coarser reference (12 dropped bits).
+    """
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(1, 5, 5, 2))
+    filters = rng.normal(size=(3, 3, 2, 2))
+    accurate = conv2d_float(inputs, filters)
+
+    def mean_error(bits):
+        lut = LookupTable.from_multiplier(
+            TruncatedProductMultiplier(8, dropped_bits=bits, signed=True))
+        out = approx_conv2d(inputs, filters, lut)
+        return float(np.abs(out - accurate).mean())
+
+    assert mean_error(dropped) <= mean_error(12) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000),
+       layers=st.integers(min_value=1, max_value=3))
+def test_transform_preserves_validity_and_shapes_on_random_chains(seed, layers):
+    """Fig. 1 applied to random conv chains keeps the graph valid and the
+    output shape unchanged."""
+    rng = np.random.default_rng(seed)
+    g = Graph()
+    x = Placeholder(g, (None, 8, 8, 2), name="in")
+    node = x
+    channels = 2
+    for i in range(layers):
+        out_channels = int(rng.integers(1, 5))
+        w = Constant(g, rng.normal(size=(3, 3, channels, out_channels)),
+                     name=f"w{i}")
+        node = ReLU(g, Conv2D(g, node, w, name=f"conv{i}"), name=f"relu{i}")
+        channels = out_channels
+    batch = rng.normal(size=(1, 8, 8, 2))
+    reference = Executor(g).run(node, {x: batch})
+
+    report = approximate_graph(g, library.create("mul8s_exact"))
+    assert report.converted_layers == layers
+    g.validate()
+    approx = Executor(g).run(node, {x: batch})
+    assert approx.shape == reference.shape
+    assert np.all(np.isfinite(approx))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_quantized_conv_commutes_with_scaling(seed):
+    """Scaling inputs by a positive constant scales the emulated output.
+
+    The affine quantisation derives its range per batch, so a global positive
+    scaling of the input tensor must (up to quantisation noise) simply scale
+    the approximate convolution output -- a useful sanity property of the
+    range handling in Algorithm 1.
+    """
+    rng = np.random.default_rng(seed)
+    scale = float(rng.uniform(0.5, 4.0))
+    inputs = rng.normal(size=(1, 5, 5, 2))
+    filters = rng.normal(size=(3, 3, 2, 2))
+    lut = LookupTable.from_multiplier(library.create("mul8s_exact"))
+    base = approx_conv2d(inputs, filters, lut)
+    scaled = approx_conv2d(inputs * scale, filters, lut)
+    tolerance = 0.1 * np.abs(base * scale).max() + 1e-6
+    assert np.max(np.abs(scaled - base * scale)) < tolerance
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_quant_params_from_conv_inputs_always_cover_zero(seed):
+    """Whatever the activation statistics, zero stays exactly representable."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(rng.uniform(-10, 0), rng.uniform(0.1, 10), size=50)
+    params = compute_coeffs_from_tensor(data)
+    assert params.representable_zero() == 0.0
+    lo, hi = params.real_range()
+    assert lo <= float(data.min()) + params.scale
+    assert hi >= float(data.max()) - params.scale

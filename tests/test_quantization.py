@@ -1,0 +1,200 @@
+"""Tests of the affine quantisation scheme (Eq. 1), rounding and ranges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quantization import (
+    IntegerRange,
+    QuantParams,
+    RangeTracker,
+    RoundMode,
+    SIGNED_8BIT,
+    TensorRange,
+    UNSIGNED_8BIT,
+    apply_rounding,
+    compute_coeffs,
+    compute_coeffs_from_tensor,
+)
+
+
+class TestIntegerRange:
+    def test_signed_unsigned_defaults(self):
+        assert (SIGNED_8BIT.qmin, SIGNED_8BIT.qmax) == (-128, 127)
+        assert (UNSIGNED_8BIT.qmin, UNSIGNED_8BIT.qmax) == (0, 255)
+        assert SIGNED_8BIT.signed and not UNSIGNED_8BIT.signed
+        assert SIGNED_8BIT.levels == 256
+
+    def test_for_bits(self):
+        r = IntegerRange.for_bits(4, signed=True)
+        assert (r.qmin, r.qmax) == (-8, 7)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(QuantizationError):
+            IntegerRange(5, 5)
+        with pytest.raises(QuantizationError):
+            IntegerRange.for_bits(1)
+
+
+class TestRounding:
+    def test_half_away_from_zero(self):
+        vals = np.array([0.5, 1.5, -0.5, -1.5, 2.4])
+        out = apply_rounding(vals, RoundMode.HALF_AWAY_FROM_ZERO)
+        np.testing.assert_array_equal(out, [1, 2, -1, -2, 2])
+
+    def test_half_to_even(self):
+        vals = np.array([0.5, 1.5, 2.5, -0.5])
+        out = apply_rounding(vals, RoundMode.HALF_TO_EVEN)
+        np.testing.assert_array_equal(out, [0, 2, 2, 0])
+
+    def test_floor_ceil_truncate(self):
+        vals = np.array([1.7, -1.7])
+        np.testing.assert_array_equal(apply_rounding(vals, RoundMode.FLOOR), [1, -2])
+        np.testing.assert_array_equal(apply_rounding(vals, RoundMode.CEIL), [2, -1])
+        np.testing.assert_array_equal(apply_rounding(vals, RoundMode.TRUNCATE), [1, -1])
+
+    def test_stochastic_mean_converges(self):
+        rng = np.random.default_rng(0)
+        vals = np.full(20_000, 0.25)
+        out = apply_rounding(vals, RoundMode.STOCHASTIC, rng=rng)
+        assert abs(out.mean() - 0.25) < 0.02
+
+    def test_mode_from_string(self):
+        assert RoundMode.from_any("floor") is RoundMode.FLOOR
+        with pytest.raises(Exception):
+            RoundMode.from_any("bogus")
+
+
+class TestComputeCoeffs:
+    def test_zero_always_representable(self):
+        params = compute_coeffs(0.5, 2.0, qrange=SIGNED_8BIT)
+        assert params.representable_zero() == 0.0
+        params = compute_coeffs(-3.0, -1.0, qrange=UNSIGNED_8BIT)
+        assert params.representable_zero() == 0.0
+
+    def test_symmetric_range_signed(self):
+        params = compute_coeffs(-1.0, 1.0, qrange=SIGNED_8BIT)
+        assert params.zero_point == pytest.approx(0, abs=1)
+        assert params.scale == pytest.approx(2.0 / 255.0)
+
+    def test_unsigned_positive_range(self):
+        params = compute_coeffs(0.0, 10.0, qrange=UNSIGNED_8BIT)
+        assert params.zero_point == 0
+        assert params.scale == pytest.approx(10.0 / 255.0)
+
+    def test_degenerate_range(self):
+        params = compute_coeffs(0.0, 0.0)
+        assert params.scale == 1.0
+        assert params.quantize(np.zeros(3)).tolist() == [0, 0, 0]
+
+    def test_invalid_ranges(self):
+        with pytest.raises(QuantizationError):
+            compute_coeffs(float("nan"), 1.0)
+        with pytest.raises(QuantizationError):
+            compute_coeffs(2.0, 1.0)
+
+    def test_from_tensor(self, rng):
+        data = rng.normal(size=(4, 4))
+        params = compute_coeffs_from_tensor(data)
+        assert params.scale > 0
+        with pytest.raises(QuantizationError):
+            compute_coeffs_from_tensor(np.array([]))
+        with pytest.raises(QuantizationError):
+            compute_coeffs_from_tensor(np.array([np.inf]))
+
+
+class TestQuantParams:
+    def test_quantize_clips_to_range(self):
+        params = compute_coeffs(-1.0, 1.0, qrange=SIGNED_8BIT)
+        out = params.quantize(np.array([-50.0, 50.0]))
+        assert out.tolist() == [-128, 127]
+
+    def test_quantize_rejects_nan(self):
+        params = compute_coeffs(-1.0, 1.0)
+        with pytest.raises(QuantizationError):
+            params.quantize(np.array([np.nan]))
+
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        data = rng.uniform(-3.0, 5.0, size=1000)
+        params = compute_coeffs(float(data.min()), float(data.max()))
+        recovered = params.fake_quantize(data)
+        assert np.max(np.abs(recovered - data)) <= params.scale / 2 + 1e-12
+
+    def test_real_range_covers_input(self):
+        params = compute_coeffs(-2.0, 6.0)
+        lo, hi = params.real_range()
+        assert lo <= -2.0 + params.scale and hi >= 6.0 - params.scale
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=0.0, zero_point=0, qrange=SIGNED_8BIT)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=1.0, zero_point=300, qrange=SIGNED_8BIT)
+
+    @settings(max_examples=100, deadline=None)
+    @given(lo=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+           span=st.floats(min_value=1e-3, max_value=1e4, allow_nan=False))
+    def test_roundtrip_property(self, lo, span):
+        hi = lo + span
+        params = compute_coeffs(lo, hi, qrange=SIGNED_8BIT)
+        values = np.linspace(min(lo, 0.0), max(hi, 0.0), 17)
+        recovered = params.fake_quantize(values)
+        assert np.max(np.abs(recovered - values)) <= params.scale * 0.5 + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.floats(min_value=-100, max_value=100,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=2, max_size=40))
+    def test_quantized_values_stay_in_range(self, values):
+        data = np.asarray(values)
+        params = compute_coeffs_from_tensor(data, qrange=UNSIGNED_8BIT)
+        q = params.quantize(data)
+        assert q.min() >= 0 and q.max() <= 255
+
+
+class TestTensorRangeTracker:
+    def test_range_of_tensor(self):
+        r = TensorRange.of(np.array([-1.0, 2.0, 0.5]))
+        assert r.as_tuple() == (-1.0, 2.0)
+        assert r.span == 3.0
+
+    def test_union_and_include_zero(self):
+        a = TensorRange(1.0, 2.0)
+        b = TensorRange(-4.0, -3.0)
+        u = a.union(b)
+        assert u.as_tuple() == (-4.0, 2.0)
+        assert a.include_zero().min_value == 0.0
+
+    def test_invalid_ranges(self):
+        with pytest.raises(QuantizationError):
+            TensorRange(2.0, 1.0)
+        with pytest.raises(QuantizationError):
+            TensorRange.of(np.array([np.nan]))
+        with pytest.raises(QuantizationError):
+            TensorRange.of(np.array([]))
+
+    def test_minmax_tracker_unions(self):
+        tracker = RangeTracker("minmax")
+        tracker.update(np.array([0.0, 1.0]))
+        tracker.update(np.array([-2.0, 0.5]))
+        assert tracker.range.as_tuple() == (-2.0, 1.0)
+        assert tracker.batches_seen == 2
+
+    def test_ema_tracker_moves_slowly(self):
+        tracker = RangeTracker("ema", momentum=0.9)
+        tracker.update(np.array([0.0, 1.0]))
+        tracker.update(np.array([0.0, 11.0]))
+        assert tracker.range.max_value == pytest.approx(2.0)
+
+    def test_tracker_errors(self):
+        with pytest.raises(QuantizationError):
+            RangeTracker("bogus")
+        tracker = RangeTracker()
+        with pytest.raises(QuantizationError):
+            _ = tracker.range
+        tracker.update(np.array([1.0]))
+        tracker.reset()
+        assert tracker.batches_seen == 0
