@@ -1,0 +1,159 @@
+"""Pipeline sweep: LUT/filter-bank caching and batch sharding vs the seed path.
+
+The seed code rebuilt the 256x256 multiplier table and re-quantised the
+filter bank on *every* ``approx_conv2d`` call; the
+:class:`repro.backends.InferencePipeline` amortises both through
+process-wide caches and shards large batches across a thread pool.  This
+module quantifies the difference:
+
+* ``cold`` benchmarks clear the caches before every call (the seed
+  behaviour: per-call setup included);
+* ``warm`` benchmarks reuse a primed pipeline (the steady state of a batch
+  stream);
+* ``test_warm_calls_beat_cold_calls`` asserts the speedup, which is the
+  acceptance gate of the backend-registry PR;
+* the sharding benchmarks measure thread-pool fan-out -- on multi-core
+  hosts the NumPy backend overlaps shards (its heavy ops release the GIL);
+  on the single-core CI runner they only demonstrate that sharding adds no
+  meaningful overhead and stays deterministic.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import InferencePipeline, clear_caches, emulate_conv2d
+
+MULTIPLIER = "mul8s_mitchell"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Setup-dominated case: small batch, wide filter bank."""
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(2, 8, 8, 16))
+    filters = rng.normal(size=(3, 3, 16, 64))
+    return inputs, filters
+
+
+@pytest.fixture(scope="module")
+def batch_workload():
+    """Compute-dominated case: a large batch for the sharding benchmarks."""
+    rng = np.random.default_rng(1)
+    inputs = rng.normal(size=(32, 12, 12, 8))
+    filters = rng.normal(size=(3, 3, 8, 16))
+    return inputs, filters
+
+
+@pytest.mark.benchmark(group="pipeline-cache")
+def test_cold_pipeline_call(benchmark, workload):
+    """Seed behaviour: every call pays LUT construction + filter setup."""
+    inputs, filters = workload
+    pipeline = InferencePipeline("numpy", multiplier=MULTIPLIER, chunk_size=2)
+
+    def cold_call():
+        clear_caches()
+        return pipeline.run(inputs, filters)
+
+    result = benchmark(cold_call)
+    assert result.report.lut_cache.misses == 1
+    assert result.report.filter_cache.misses == 1
+
+
+@pytest.mark.benchmark(group="pipeline-cache")
+def test_warm_pipeline_call(benchmark, workload):
+    """Steady state: LUT and filter bank come from the caches."""
+    inputs, filters = workload
+    pipeline = InferencePipeline("numpy", multiplier=MULTIPLIER, chunk_size=2)
+    pipeline.run(inputs, filters)  # prime
+
+    result = benchmark(pipeline.run, inputs, filters)
+    assert result.report.lut_cache.hits == 1
+    assert result.report.filter_cache.hits == 1
+
+
+def test_warm_calls_beat_cold_calls(workload):
+    """Acceptance gate: cached calls are measurably faster than cold calls."""
+    inputs, filters = workload
+    pipeline = InferencePipeline("numpy", multiplier=MULTIPLIER, chunk_size=2)
+
+    def timed_run():
+        start = time.perf_counter()
+        pipeline.run(inputs, filters)
+        return time.perf_counter() - start
+
+    cold, warm = [], []
+    for _ in range(9):
+        clear_caches()
+        cold.append(timed_run())
+    pipeline.run(inputs, filters)  # prime
+    for _ in range(9):
+        warm.append(timed_run())
+
+    cold_median = statistics.median(cold)
+    warm_median = statistics.median(warm)
+    print(f"\ncold median {cold_median * 1e3:.2f} ms, "
+          f"warm median {warm_median * 1e3:.2f} ms, "
+          f"speedup {cold_median / warm_median:.2f}x")
+    assert warm_median < cold_median, (
+        f"cached calls ({warm_median:.4f}s) should beat cold calls "
+        f"({cold_median:.4f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="pipeline-sharding")
+def test_sequential_batch(benchmark, batch_workload):
+    inputs, filters = batch_workload
+    pipeline = InferencePipeline(
+        "numpy", multiplier=MULTIPLIER, chunk_size=4, max_workers=1)
+    pipeline.run(inputs, filters)  # prime caches so only sharding differs
+
+    result = benchmark(pipeline.run, inputs, filters)
+    assert result.report.chunks == 8
+    assert result.report.workers == 1
+
+
+@pytest.mark.benchmark(group="pipeline-sharding")
+def test_sharded_batch(benchmark, batch_workload):
+    inputs, filters = batch_workload
+    pipeline = InferencePipeline(
+        "numpy", multiplier=MULTIPLIER, chunk_size=4, max_workers=4)
+    pipeline.run(inputs, filters)  # prime
+
+    result = benchmark(pipeline.run, inputs, filters)
+    assert result.report.chunks == 8
+    assert result.report.workers == 4
+
+
+def test_sharded_output_matches_sequential(batch_workload):
+    """Sharding is a pure scheduling change: outputs stay bit-identical."""
+    inputs, filters = batch_workload
+    sequential = InferencePipeline(
+        "numpy", multiplier=MULTIPLIER, chunk_size=4, max_workers=1)
+    sharded = InferencePipeline(
+        "numpy", multiplier=MULTIPLIER, chunk_size=4, max_workers=4)
+    assert np.array_equal(
+        sequential.run(inputs, filters).output,
+        sharded.run(inputs, filters).output,
+    )
+
+
+@pytest.mark.benchmark(group="pipeline-backends")
+@pytest.mark.parametrize("backend", ["numpy", "gpusim"])
+def test_backend_throughput(benchmark, batch_workload, backend):
+    """Relative cost of the registered fast backends on the same workload.
+
+    The ``cpusim`` direct loop is excluded: it is orders of magnitude slower
+    by design (that gap is measured on a tiny case in
+    ``test_bench_engines.py``).
+    """
+    inputs, filters = batch_workload
+    out = benchmark(
+        emulate_conv2d, inputs, filters, MULTIPLIER, backend=backend,
+        chunk_size=8,
+    )
+    assert out.shape == (32, 12, 12, 16)

@@ -8,6 +8,18 @@ launches and memory traffic the device recorded, and replays the LUT fetch
 stream through the texture-cache model to show why texture memory is a good
 home for the 128 kB multiplier table.
 
+Reproduces: the implementation description of Section III -- the Im2Cols
+kernel (fixed block size, prefix-scan partial sums, atomicAdd into ``Sp``),
+the tiled LUT GEMM kernel and the rationale for binding the 128 kB product
+table to texture memory ("cached in L1 or L1 texture cache").
+
+Expected output: the per-chunk kernel-launch list (``ax_im2cols`` /
+``ax_gemm`` with their grid/block/shared-memory geometry), the device
+counters (texture fetches, atomicAdds, global/shared-memory traffic), and
+texture-cache hit rates above ~90% for 16-128 kB caches -- quantised
+activations cluster around zero, so the hot region of the table fits the
+cache, which is the effect the paper exploits with ``tex1Dfetch``.
+
 Run:  python examples/gpu_emulation_demo.py [--multiplier mul8s_drum4]
 """
 

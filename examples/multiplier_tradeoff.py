@@ -7,6 +7,18 @@ quickly evaluated"): sweep a set of candidate 8-bit multipliers, characterise
 each one's arithmetic error from its truth table, emulate the accelerator on
 a small CNN and record how much classification quality survives.
 
+Reproduces: the design-space-exploration use case of the paper's conclusion
+(no single figure; the per-multiplier arithmetic-error metrics follow the
+error characterisation of Section II and the emulation quality follows the
+Section IV methodology).
+
+Expected output: one table row per candidate with MRE/MAE/WCE, relative
+hardware area (unit-gate model), emulated accuracy, prediction agreement and
+logit error -- ``mul8s_exact`` retains the float baseline accuracy exactly,
+low-MRE designs (``mul8s_udm``, ``mul8s_noise64``) stay close, and
+aggressive designs (``mul8s_drum4``) collapse, mirroring the
+area-vs-accuracy trade-off the paper motivates.
+
 Run:  python examples/multiplier_tradeoff.py [--images 20]
 """
 

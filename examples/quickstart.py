@@ -10,6 +10,18 @@ The script walks through the whole TFApprox flow in miniature:
 4. run accurate and approximate inference on a held-out split and report the
    accuracy, prediction agreement and numeric error.
 
+Reproduces: the end-to-end TFApprox workflow of the paper -- the Fig. 1 graph
+transformation followed by the accurate-vs-approximate quality comparison of
+Section IV (here on a synthetic CIFAR-10 stand-in rather than the real
+dataset, so no downloads are needed).
+
+Expected output: the multiplier's arithmetic-error report (EP/MAE/WCE/MRE),
+the transformation summary ("replaced 3 Conv2D node(s) with AxConv2D ..."),
+then top-1 accuracy of both models, their prediction agreement and the logit
+error.  With the default ``mul8s_mitchell`` both accuracies match and
+agreement is ~100%; aggressive multipliers (e.g. ``mul8s_drum4``) visibly
+degrade the approximate run.
+
 Run:  python examples/quickstart.py [--multiplier mul8s_mitchell] [--images 24]
 """
 

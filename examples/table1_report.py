@@ -6,6 +6,17 @@ on the modelled CPU (Xeon E5-2620-like) and GPU (GTX 1080-like) are computed
 for 10 000 CIFAR-sized images, and the resulting table plus the Fig. 2 phase
 breakdown are printed next to the numbers published in the paper.
 
+Reproduces: Table I (per-network accurate/approximate inference times and
+speed-ups, CPU vs GPU) and, with ``--fig2``, the Fig. 2 time breakdown into
+initialisation / quantisation / LUT lookups / remaining computation.
+
+Expected output: a ten-row table (ResNet-8 ... ResNet-62) whose ``SpdAcc`` /
+``SpdApx`` columns land close to the paper's published speed-ups (printed
+underneath for comparison; e.g. ResNet-62 approximate ~207x vs the paper's
+~200x), followed by the paper-vs-regenerated summary.  The analytical models
+are calibrated to match the *shape* of the published results, not every
+digit.
+
 Run:  python examples/table1_report.py [--images 10000] [--fig2]
 """
 

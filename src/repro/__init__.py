@@ -20,6 +20,7 @@ self-contained Python library:
 """
 
 from . import (
+    backends,
     conv,
     cpusim,
     datasets,
@@ -31,6 +32,7 @@ from . import (
     multipliers,
     quantization,
 )
+from .backends import InferencePipeline, RunReport, emulate_conv2d
 from .errors import TFApproxError
 from .hwspec import CPUSpec, GPUSpec, GTX_1080, PAPER_SYSTEM, SystemSpec, XEON_E5_2620
 from .workload import ConvWorkload, WorkloadTotals, total_workload
@@ -40,6 +42,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "TFApproxError",
+    "InferencePipeline",
+    "RunReport",
+    "emulate_conv2d",
+    "backends",
     "CPUSpec",
     "GPUSpec",
     "SystemSpec",

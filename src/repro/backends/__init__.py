@@ -1,0 +1,65 @@
+"""Unified execution backends behind one batched inference API.
+
+This package is the dispatch seam between the functional emulation code and
+the engines that execute it.  All four execution paths of the library (the
+vectorised NumPy engine, the direct CPU loop, the simulated CUDA device and
+the ``AxConv2D`` graph op) resolve their quantisation coefficients and
+lookup tables through the same code path and run through the
+:class:`ConvBackend` contract, so adding an accelerator model means
+implementing one chunk-level method and calling :func:`register_backend`.
+
+Entry points:
+
+* :func:`emulate_conv2d` -- one-call approximate convolution on any backend;
+* :class:`InferencePipeline` -- reusable pipeline with LUT/filter-bank
+  caching and thread-pool batch sharding;
+* :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends` -- the registry.
+"""
+
+from .cache import (
+    CacheStats,
+    DEFAULT_FILTER_CACHE,
+    DEFAULT_LUT_CACHE,
+    FilterBankCache,
+    LUTCache,
+    PreparedFilterBank,
+    cache_stats,
+    clear_caches,
+)
+from .pipeline import InferencePipeline, RunReport, RunResult, emulate_conv2d
+from .registry import (
+    ChunkResult,
+    ConvBackend,
+    CpusimBackend,
+    GpusimBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "CacheStats",
+    "ChunkResult",
+    "ConvBackend",
+    "CpusimBackend",
+    "DEFAULT_FILTER_CACHE",
+    "DEFAULT_LUT_CACHE",
+    "FilterBankCache",
+    "GpusimBackend",
+    "InferencePipeline",
+    "LUTCache",
+    "NumpyBackend",
+    "PreparedFilterBank",
+    "RunReport",
+    "RunResult",
+    "available_backends",
+    "cache_stats",
+    "clear_caches",
+    "emulate_conv2d",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]

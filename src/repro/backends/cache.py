@@ -1,0 +1,208 @@
+"""Process-wide caches amortising per-call setup of the emulation.
+
+The paper's CUDA implementation pays its setup costs (building the 256x256
+product table, quantising the filter bank) once per session; the seed Python
+code paid them on *every* ``approx_conv2d`` call.  Two caches restore the
+amortisation:
+
+* :class:`LUTCache` memoises constructed :class:`~repro.lut.table.LookupTable`
+  objects keyed by ``(multiplier name, bit width, signedness)`` -- the three
+  attributes that determine the table contents for the deterministic
+  multiplier models in :mod:`repro.multipliers`;
+* :class:`FilterBankCache` memoises the quantised flattened filter matrix and
+  the per-filter sums ``Sf`` keyed by the filter tensor's content digest plus
+  the quantisation configuration (integer range, round mode, explicit filter
+  range) that determines the quantised values.
+
+Both caches are thread-safe (the :class:`~repro.backends.InferencePipeline`
+shards batches across a thread pool) and bounded; eviction is
+least-recently-inserted, which is sufficient for the sweep-style workloads
+this library runs.  Module-level default instances are shared by
+:func:`repro.backends.emulate_conv2d` and every pipeline that does not bring
+its own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..lut.table import LookupTable
+from ..multipliers import library
+from ..multipliers.base import Multiplier
+from ..quantization.affine import IntegerRange, QuantParams
+from ..quantization.ranges import TensorRange
+from ..quantization.rounding import RoundMode
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+
+class _BoundedCache:
+    """Thread-safe insertion-ordered cache with a maximum entry count."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def _get_or_build(self, key, build):
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                return self._entries[key]
+        # Build outside the lock: table construction can be expensive and
+        # must not serialise unrelated lookups.  A racing duplicate build is
+        # harmless (last writer wins; values for equal keys are equal).
+        value = build()
+        with self._lock:
+            if key not in self._entries:
+                self.stats.misses += 1
+                self._entries[key] = value
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            else:
+                self.stats.hits += 1
+            return self._entries[key]
+
+
+class LUTCache(_BoundedCache):
+    """Cache of materialised multiplier lookup tables.
+
+    ``resolve`` accepts the three spellings user code refers to a multiplier
+    by -- a library name, a :class:`~repro.multipliers.base.Multiplier`
+    behavioural model or an already-built
+    :class:`~repro.lut.table.LookupTable` -- and returns a table, building it
+    at most once per ``(name, bit_width, signed)`` configuration.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        super().__init__(max_entries)
+
+    def resolve(self, multiplier: str | Multiplier | LookupTable) -> LookupTable:
+        """Return the lookup table for ``multiplier``, building it on a miss."""
+        if isinstance(multiplier, LookupTable):
+            # Already materialised: nothing to amortise, pass through.
+            return multiplier
+        if isinstance(multiplier, Multiplier):
+            # Key on the instance, not on (name, bit_width, signed): two
+            # behavioural models may share all three (e.g. TableMultipliers
+            # with different tables) and keying on metadata would silently
+            # serve one multiplier's products for the other.  The entry
+            # keeps the instance alive, so identity stays unambiguous.
+            key = ("instance", id(multiplier))
+            _, lut = self._get_or_build(
+                key,
+                lambda: (multiplier, LookupTable.from_multiplier(multiplier)),
+            )
+            return lut
+        if isinstance(multiplier, str):
+            def build() -> LookupTable:
+                return LookupTable.from_multiplier(library.create(multiplier))
+            return self._get_or_build(("library", multiplier), build)
+        raise ConfigurationError(
+            "multiplier must be a library name, a Multiplier or a "
+            f"LookupTable, got {type(multiplier).__name__}"
+        )
+
+
+def _range_key(value_range: TensorRange | tuple[float, float] | None):
+    if value_range is None:
+        return None
+    if isinstance(value_range, TensorRange):
+        return value_range.as_tuple()
+    return (float(value_range[0]), float(value_range[1]))
+
+
+@dataclass(frozen=True)
+class PreparedFilterBank:
+    """Cached filter-side state: coefficients, flat quantised bank and ``Sf``."""
+
+    filter_q: QuantParams
+    flat_filters: np.ndarray
+    filter_sums: np.ndarray
+
+
+class FilterBankCache(_BoundedCache):
+    """Cache of quantised, flattened filter banks keyed by content digest.
+
+    The key combines a SHA-1 digest of the filter tensor's bytes with its
+    shape and the full quantisation configuration, so two float banks that
+    quantise differently never collide.  Hashing costs one linear pass over
+    the bank -- orders of magnitude cheaper than quantise + flatten + sum,
+    and it is safe for mutable arrays (unlike keying on ``id``).
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        super().__init__(max_entries)
+
+    def resolve(self, filters: np.ndarray, *,
+                qrange: IntegerRange,
+                round_mode: RoundMode,
+                filter_range: TensorRange | tuple[float, float] | None,
+                build) -> PreparedFilterBank:
+        """Return the prepared bank for ``filters``, building it on a miss."""
+        data = np.ascontiguousarray(filters)
+        digest = hashlib.sha1(data.tobytes()).hexdigest()
+        key = (
+            digest, data.shape, str(data.dtype),
+            (qrange.qmin, qrange.qmax), RoundMode.from_any(round_mode),
+            _range_key(filter_range),
+        )
+        return self._get_or_build(key, build)
+
+
+#: Default process-wide caches shared by :func:`repro.backends.emulate_conv2d`
+#: and every :class:`~repro.backends.InferencePipeline` constructed without
+#: explicit cache instances.
+DEFAULT_LUT_CACHE = LUTCache()
+DEFAULT_FILTER_CACHE = FilterBankCache()
+
+
+def clear_caches() -> None:
+    """Empty the default LUT and filter-bank caches (used by tests/benchmarks)."""
+    DEFAULT_LUT_CACHE.clear()
+    DEFAULT_FILTER_CACHE.clear()
+
+
+def cache_stats() -> dict[str, CacheStats]:
+    """Snapshot the default caches' hit/miss counters."""
+    return {
+        "lut": DEFAULT_LUT_CACHE.stats.snapshot(),
+        "filters": DEFAULT_FILTER_CACHE.stats.snapshot(),
+    }

@@ -3,15 +3,21 @@
 from .approx_conv2d import (
     ApproxConvStats,
     DEFAULT_CHUNK_SIZE,
+    PreparedConv,
     approx_conv2d,
+    approx_conv2d_chunk,
+    prepare_conv2d,
+    quantize_filter_bank,
     resolve_quant_params,
     split_chunks,
+    validate_conv_operands,
 )
 from .gemm import approx_gemm, dequantize_gemm, gemm_float, lut_matmul
 from .im2col import filter_sums, flatten_filters, im2col, im2col_quantized
 from .padding import ConvGeometry, resolve_geometry
 from .reference import (
     approx_conv2d_direct,
+    approx_conv2d_direct_quantized,
     conv2d_direct,
     conv2d_float,
     fake_quant_conv2d,
@@ -20,9 +26,14 @@ from .reference import (
 __all__ = [
     "ApproxConvStats",
     "DEFAULT_CHUNK_SIZE",
+    "PreparedConv",
     "approx_conv2d",
+    "approx_conv2d_chunk",
+    "prepare_conv2d",
+    "quantize_filter_bank",
     "resolve_quant_params",
     "split_chunks",
+    "validate_conv_operands",
     "approx_gemm",
     "dequantize_gemm",
     "gemm_float",
@@ -36,5 +47,6 @@ __all__ = [
     "conv2d_float",
     "conv2d_direct",
     "approx_conv2d_direct",
+    "approx_conv2d_direct_quantized",
     "fake_quant_conv2d",
 ]

@@ -105,6 +105,150 @@ def split_chunks(batch: int, chunk_size: int) -> list[tuple[int, int]]:
             for start in range(0, batch, chunk_size)]
 
 
+@dataclass(frozen=True)
+class PreparedConv:
+    """Batch-independent state of one approximate convolution.
+
+    Bundles everything Algorithm 1 computes *once per (filter bank, LUT,
+    range) combination* rather than once per chunk: the resolved quantisation
+    coefficients of both operands, the quantised flattened filter matrix and
+    the per-filter sums ``Sf``.  Every execution backend (vectorised NumPy,
+    direct CPU loop, simulated CUDA device) consumes this object, so the
+    quantisation/LUT resolution logic lives in exactly one place and the
+    :class:`repro.backends.InferencePipeline` can cache it across calls.
+    """
+
+    lut: LookupTable
+    input_q: QuantParams
+    filter_q: QuantParams
+    flat_filters: np.ndarray      #: quantised ``[K, F]`` int64 filter matrix
+    filter_sums: np.ndarray       #: per-filter sums ``Sf`` (third sum of Eq. 4)
+    kernel_height: int
+    kernel_width: int
+    channels: int
+    filter_count: int
+
+    @property
+    def depth(self) -> int:
+        """Accumulation depth ``N = kh * kw * channels`` of Eq. 4."""
+        return self.kernel_height * self.kernel_width * self.channels
+
+    def quantized_filters_hwck(self) -> np.ndarray:
+        """Reshape the flat filter matrix back to the HWCK layout.
+
+        ``flatten_filters`` is a pure reshape, so the round trip is exact;
+        the direct-loop backend uses this to index individual filters.
+        """
+        return self.flat_filters.reshape(
+            self.kernel_height, self.kernel_width, self.channels,
+            self.filter_count,
+        )
+
+
+def validate_conv_operands(inputs: np.ndarray, filters: np.ndarray,
+                           lut: LookupTable, qrange: IntegerRange) -> None:
+    """Shape/signedness validation shared by every convolution entry point."""
+    if inputs.ndim != 4:
+        raise ShapeError(f"inputs must be NHWC (4D), got shape {inputs.shape}")
+    if filters.ndim != 4:
+        raise ShapeError(f"filters must be HWCK (4D), got shape {filters.shape}")
+    if inputs.shape[3] != filters.shape[2]:
+        raise ShapeError(
+            f"channel mismatch: inputs have {inputs.shape[3]} channels, "
+            f"filters expect {filters.shape[2]}"
+        )
+    if qrange.signed != lut.signed:
+        raise ConfigurationError(
+            f"quantised range signedness ({qrange.signed}) does not match the "
+            f"lookup table ({lut.signed})"
+        )
+
+
+def quantize_filter_bank(filters: np.ndarray, filter_q: QuantParams,
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Quantise and flatten an HWCK filter bank and compute its sums ``Sf``.
+
+    The one place the filter-side body of Algorithm 1 lives:
+    :func:`prepare_conv2d` and the caching pipeline in
+    :mod:`repro.backends` both call it, so the cached and uncached paths
+    cannot drift apart numerically.
+    """
+    flat = flatten_filters(filter_q.quantize(filters).astype(np.int64))
+    return flat, filter_sums(flat)
+
+
+def prepare_conv2d(inputs: np.ndarray, filters: np.ndarray, lut: LookupTable, *,
+                   input_range: TensorRange | tuple[float, float] | None = None,
+                   filter_range: TensorRange | tuple[float, float] | None = None,
+                   qrange: IntegerRange | None = None,
+                   round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                   input_params: QuantParams | None = None,
+                   filter_params: QuantParams | None = None) -> PreparedConv:
+    """Resolve the quantisation coefficients and quantise the filter bank.
+
+    This is the shared front half of Algorithm 1 (``ComputeCoeffs`` plus the
+    filter-side quantisation and ``Sf``); the backends only implement the
+    per-chunk back half.  When ``qrange`` is omitted it is derived from the
+    lookup table's bit width and signedness, which is the only combination
+    the table can serve anyway.  Explicit ``input_params``/``filter_params``
+    bypass range resolution entirely (used by the low-level CPU reference
+    entry point, which receives pre-computed coefficients).
+    """
+    if qrange is None:
+        qrange = IntegerRange.for_bits(lut.bit_width, signed=lut.signed)
+    validate_conv_operands(inputs, filters, lut, qrange)
+    kh, kw, channels, count = filters.shape
+
+    input_q = input_params if input_params is not None else resolve_quant_params(
+        inputs, input_range, qrange, round_mode)
+    filter_q = filter_params if filter_params is not None else resolve_quant_params(
+        filters, filter_range, qrange, round_mode)
+
+    flat_filters, sf = quantize_filter_bank(filters, filter_q)
+    return PreparedConv(
+        lut=lut, input_q=input_q, filter_q=filter_q,
+        flat_filters=flat_filters, filter_sums=sf,
+        kernel_height=kh, kernel_width=kw, channels=channels,
+        filter_count=count,
+    )
+
+
+def approx_conv2d_chunk(chunk: np.ndarray, prepared: PreparedConv, *,
+                        strides=(1, 1), dilations=(1, 1),
+                        padding: str = "SAME",
+                        accumulator_bits: int | None = None,
+                        saturate: bool = False,
+                        stats: ApproxConvStats | None = None) -> np.ndarray:
+    """Run Im2Cols + ApproxGEMM on one chunk of a prepared convolution.
+
+    This is the body of Algorithm 1's chunk loop as executed by the
+    vectorised NumPy engine; :func:`approx_conv2d` and the ``numpy`` backend
+    of :mod:`repro.backends` both call it, so their numerical behaviour is
+    one code path.
+    """
+    patches, patch_sums, geometry = im2col_quantized(
+        chunk, prepared.kernel_height, prepared.kernel_width, prepared.input_q,
+        strides=strides, dilations=dilations, padding=padding,
+    )
+    chunk_out = approx_gemm(
+        patches, patch_sums, prepared.flat_filters, prepared.filter_sums,
+        prepared.input_q, prepared.filter_q, prepared.lut,
+        accumulator_bits=accumulator_bits, saturate=saturate,
+    )
+    count = prepared.filter_count
+    if stats is not None:
+        stats.chunks += 1
+        stats.quantized_values += int(chunk.size)
+        stats.lut_lookups += int(patches.shape[0]) * int(patches.shape[1]) * count
+        stats.macs += int(patches.shape[0]) * int(patches.shape[1]) * count
+        stats.patch_matrix_bytes += int(patches.size)  # one byte per value
+        stats.dequantized_values += int(chunk_out.size)
+        stats.output_values += int(chunk_out.size)
+    return chunk_out.reshape(
+        chunk.shape[0], geometry.output_height, geometry.output_width, count,
+    )
+
+
 def approx_conv2d(inputs: np.ndarray, filters: np.ndarray, lut: LookupTable, *,
                   strides=(1, 1), dilations=(1, 1), padding: str = "SAME",
                   input_range: TensorRange | tuple[float, float] | None = None,
@@ -150,61 +294,25 @@ def approx_conv2d(inputs: np.ndarray, filters: np.ndarray, lut: LookupTable, *,
         NHWC float output with the same range semantics as an accurate
         convolution of the same operands.
     """
-    if inputs.ndim != 4:
-        raise ShapeError(f"inputs must be NHWC (4D), got shape {inputs.shape}")
-    if filters.ndim != 4:
-        raise ShapeError(f"filters must be HWCK (4D), got shape {filters.shape}")
-    if inputs.shape[3] != filters.shape[2]:
-        raise ShapeError(
-            f"channel mismatch: inputs have {inputs.shape[3]} channels, "
-            f"filters expect {filters.shape[2]}"
-        )
-    if qrange.signed != lut.signed:
-        raise ConfigurationError(
-            f"quantised range signedness ({qrange.signed}) does not match the "
-            f"lookup table ({lut.signed})"
-        )
-
-    batch = inputs.shape[0]
-    kh, kw, _, count = filters.shape
-
-    # --- ComputeCoeffs (input batch and filters) -----------------------
-    input_q = resolve_quant_params(inputs, input_range, qrange, round_mode)
-    filter_q = resolve_quant_params(filters, filter_range, qrange, round_mode)
-
-    # --- Filter-only sum Sf --------------------------------------------
-    q_filters = filter_q.quantize(filters)
-    flat_filters = flatten_filters(q_filters.astype(np.int64))
-    sf = filter_sums(flat_filters)
+    # --- ComputeCoeffs + filter-side quantisation (shared path) --------
+    prepared = prepare_conv2d(
+        inputs, filters, lut,
+        input_range=input_range, filter_range=filter_range,
+        qrange=qrange, round_mode=round_mode,
+    )
 
     local_stats = stats if stats is not None else ApproxConvStats()
-    local_stats.quantized_values += int(q_filters.size)
+    local_stats.quantized_values += int(filters.size)
 
     # --- Chunked Im2Cols + ApproxGEMM ----------------------------------
     outputs = []
-    geometry = None
-    for start, stop in split_chunks(batch, chunk_size):
-        chunk = inputs[start:stop]
-        patches, patch_sums, geometry = im2col_quantized(
-            chunk, kh, kw, input_q,
+    for start, stop in split_chunks(inputs.shape[0], chunk_size):
+        outputs.append(approx_conv2d_chunk(
+            inputs[start:stop], prepared,
             strides=strides, dilations=dilations, padding=padding,
-        )
-        chunk_out = approx_gemm(
-            patches, patch_sums, flat_filters, sf, input_q, filter_q, lut,
             accumulator_bits=accumulator_bits, saturate=saturate,
-        )
-        outputs.append(
-            chunk_out.reshape(
-                stop - start, geometry.output_height, geometry.output_width, count
-            )
-        )
-        local_stats.chunks += 1
-        local_stats.quantized_values += int(chunk.size)
-        local_stats.lut_lookups += int(patches.shape[0]) * int(patches.shape[1]) * count
-        local_stats.macs += int(patches.shape[0]) * int(patches.shape[1]) * count
-        local_stats.patch_matrix_bytes += int(patches.size)  # one byte per value
-        local_stats.dequantized_values += int(chunk_out.size)
-        local_stats.output_values += int(chunk_out.size)
+            stats=local_stats,
+        ))
 
     return np.concatenate(outputs, axis=0)
 

@@ -115,14 +115,39 @@ def approx_conv2d_direct(inputs: np.ndarray, filters: np.ndarray,
     on that property.
     """
     _check_conv_args(inputs, filters)
+    return approx_conv2d_direct_quantized(
+        inputs, filter_q.quantize(filters).astype(np.int64), lut,
+        input_q, filter_q,
+        strides=strides, dilations=dilations, padding=padding,
+    )
+
+
+def approx_conv2d_direct_quantized(inputs: np.ndarray, q_filters: np.ndarray,
+                                   lut: LookupTable, input_q: QuantParams,
+                                   filter_q: QuantParams, *, strides=(1, 1),
+                                   dilations=(1, 1),
+                                   padding: str = "SAME") -> np.ndarray:
+    """Direct-loop engine operating on an already-quantised HWCK filter bank.
+
+    This is the loop body of :func:`approx_conv2d_direct` with the filter
+    quantisation factored out, so the ``cpusim`` backend can reuse the filter
+    bank prepared (and cached) by the shared
+    :func:`repro.conv.approx_conv2d.prepare_conv2d` path instead of
+    re-quantising per call.
+    """
+    if inputs.ndim != 4:
+        raise ShapeError(f"inputs must be NHWC (4D), got shape {inputs.shape}")
+    if q_filters.ndim != 4:
+        raise ShapeError(
+            f"filters must be HWCK (4D), got shape {q_filters.shape}"
+        )
     batch, in_h, in_w, channels = inputs.shape
-    kh, kw, _, count = filters.shape
+    kh, kw, _, count = q_filters.shape
     geometry = resolve_geometry(
         in_h, in_w, kh, kw, strides=strides, dilations=dilations, padding=padding,
     )
 
     q_inputs = input_q.quantize(inputs)
-    q_filters = filter_q.quantize(filters)
     padded = np.pad(
         q_inputs,
         ((0, 0),

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..conv.reference import approx_conv2d_direct
 from ..errors import ConfigurationError
 from ..gpusim.timing import PhaseTimes
 from ..hwspec import CPUSpec, XEON_E5_2620
@@ -108,10 +107,24 @@ def run_direct_reference(inputs: np.ndarray, filters: np.ndarray,
     """Run the functional direct-loop engine (small tensors only).
 
     This is the algorithm whose performance the :class:`CPUTimingModel`
-    describes; it exists as a wrapper so tests and ablation benchmarks
-    exercise the same entry point.
+    describes.  Since the backend-registry refactor it routes through the
+    registered ``cpusim`` backend, so the filter bank is quantised by the
+    same shared :func:`repro.conv.approx_conv2d.prepare_conv2d` path every
+    other engine uses (the explicit ``input_q``/``filter_q`` coefficients
+    are forwarded unchanged).
     """
-    return approx_conv2d_direct(
-        inputs, filters, lut, input_q, filter_q,
+    # Imported here: repro.backends builds on the conv/gpusim layers, so the
+    # low-level cpusim module must not import it at module scope.
+    from ..backends.registry import get_backend
+    from ..conv.approx_conv2d import prepare_conv2d
+
+    prepared = prepare_conv2d(
+        inputs, filters, lut,
+        qrange=input_q.qrange, round_mode=input_q.round_mode,
+        input_params=input_q, filter_params=filter_q,
+    )
+    result = get_backend("cpusim").run_chunk(
+        inputs, prepared,
         strides=strides, dilations=dilations, padding=padding,
     )
+    return result.output

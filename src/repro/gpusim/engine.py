@@ -15,9 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..conv.approx_conv2d import resolve_quant_params, split_chunks
-from ..conv.im2col import filter_sums, flatten_filters
-from ..errors import ConfigurationError, ShapeError
+from ..conv.approx_conv2d import PreparedConv, prepare_conv2d, split_chunks
+from ..errors import ConfigurationError
 from ..lut.table import LookupTable
 from ..quantization.affine import IntegerRange, SIGNED_8BIT
 from ..quantization.ranges import TensorRange
@@ -40,6 +39,63 @@ class GPUConvRunReport:
     lut_name: str = ""
     per_chunk: list[dict] = field(default_factory=list)
 
+    def merge(self, other: "GPUConvRunReport") -> None:
+        """Accumulate another run report (e.g. one chunk's) into this one."""
+        self.chunks += other.chunks
+        self.kernel_launches += other.kernel_launches
+        self.texture_fetches += other.texture_fetches
+        self.atomic_adds += other.atomic_adds
+        self.shared_bytes += other.shared_bytes
+        self.patch_values += other.patch_values
+        if other.lut_name:
+            self.lut_name = other.lut_name
+        self.per_chunk.extend(other.per_chunk)
+
+
+def run_gpusim_chunk(device: GPUDevice, chunk: np.ndarray,
+                     prepared: PreparedConv, *, strides=(1, 1),
+                     dilations=(1, 1), padding: str = "SAME",
+                     ) -> tuple[np.ndarray, GPUConvRunReport]:
+    """Execute one chunk of Algorithm 1 on the simulated device.
+
+    Launches the Im2Cols and ApproxGEMM kernels for a single chunk of a
+    prepared convolution and returns the NHWC output together with a
+    one-chunk :class:`GPUConvRunReport`.  Both the
+    :class:`GPUConvolutionEngine` and the ``gpusim`` backend of
+    :mod:`repro.backends` are thin loops over this function.
+    """
+    im2cols = run_im2cols_kernel(
+        device, chunk, prepared.kernel_height, prepared.kernel_width,
+        prepared.input_q,
+        strides=strides, dilations=dilations, padding=padding,
+    )
+    gemm = run_approx_gemm_kernel(
+        device, im2cols.patches, im2cols.patch_sums,
+        prepared.flat_filters, prepared.filter_sums,
+        prepared.input_q, prepared.filter_q, prepared.lut,
+    )
+    geometry = im2cols.geometry
+    output = gemm.output.reshape(
+        chunk.shape[0], geometry.output_height, geometry.output_width,
+        prepared.filter_count,
+    )
+    report = GPUConvRunReport(
+        chunks=1,
+        kernel_launches=2,
+        texture_fetches=gemm.texture_fetches,
+        atomic_adds=im2cols.atomic_adds,
+        shared_bytes=im2cols.shared_bytes + gemm.shared_bytes,
+        patch_values=int(im2cols.patches.size),
+        lut_name=prepared.lut.name,
+        per_chunk=[{
+            "images": chunk.shape[0],
+            "patches": int(im2cols.patches.shape[0]),
+            "patch_length": int(im2cols.patches.shape[1]),
+            "texture_fetches": gemm.texture_fetches,
+        }],
+    )
+    return output, report
+
 
 class GPUConvolutionEngine:
     """Runs approximate 2D convolutions on a simulated CUDA device."""
@@ -60,58 +116,23 @@ class GPUConvolutionEngine:
                       round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
                       report: GPUConvRunReport | None = None) -> np.ndarray:
         """Algorithm 1 on the simulated device; returns the NHWC float output."""
-        if inputs.ndim != 4 or filters.ndim != 4:
-            raise ShapeError("inputs must be NHWC and filters HWCK")
-        if inputs.shape[3] != filters.shape[2]:
-            raise ShapeError(
-                f"channel mismatch: {inputs.shape[3]} vs {filters.shape[2]}"
-            )
-        if qrange.signed != lut.signed:
-            raise ConfigurationError(
-                "quantised range signedness must match the lookup table"
-            )
+        # ComputeCoeffs + filter quantisation through the shared path.
+        prepared = prepare_conv2d(
+            inputs, filters, lut,
+            input_range=input_range, filter_range=filter_range,
+            qrange=qrange, round_mode=round_mode,
+        )
 
         report = report if report is not None else GPUConvRunReport()
         report.lut_name = lut.name
-        kh, kw, _, count = filters.shape
-
-        # ComputeCoeffs for both operands.
-        input_q = resolve_quant_params(inputs, input_range, qrange, round_mode)
-        filter_q = resolve_quant_params(filters, filter_range, qrange, round_mode)
-
-        # Filter-only sum Sf (computed once, on the device in the real code).
-        q_filters = filter_q.quantize(filters)
-        flat_filters = flatten_filters(q_filters.astype(np.int64))
-        sf = filter_sums(flat_filters)
 
         outputs = []
         for start, stop in split_chunks(inputs.shape[0], self.chunk_size):
-            chunk = inputs[start:stop]
-            im2cols = run_im2cols_kernel(
-                self.device, chunk, kh, kw, input_q,
+            output, chunk_report = run_gpusim_chunk(
+                self.device, inputs[start:stop], prepared,
                 strides=strides, dilations=dilations, padding=padding,
             )
-            gemm = run_approx_gemm_kernel(
-                self.device, im2cols.patches, im2cols.patch_sums,
-                flat_filters, sf, input_q, filter_q, lut,
-            )
-            geometry = im2cols.geometry
-            outputs.append(
-                gemm.output.reshape(
-                    stop - start, geometry.output_height, geometry.output_width, count
-                )
-            )
-            report.chunks += 1
-            report.kernel_launches += 2
-            report.texture_fetches += gemm.texture_fetches
-            report.atomic_adds += im2cols.atomic_adds
-            report.shared_bytes += im2cols.shared_bytes + gemm.shared_bytes
-            report.patch_values += int(im2cols.patches.size)
-            report.per_chunk.append({
-                "images": stop - start,
-                "patches": int(im2cols.patches.shape[0]),
-                "patch_length": int(im2cols.patches.shape[1]),
-                "texture_fetches": gemm.texture_fetches,
-            })
+            outputs.append(output)
+            report.merge(chunk_report)
 
         return np.concatenate(outputs, axis=0)

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...conv.approx_conv2d import DEFAULT_CHUNK_SIZE, ApproxConvStats, approx_conv2d
+from ...backends.pipeline import InferencePipeline
+from ...conv.approx_conv2d import DEFAULT_CHUNK_SIZE, ApproxConvStats
 from ...conv.padding import resolve_geometry
 from ...conv.reference import conv2d_float
 from ...errors import ConfigurationError, ShapeError
@@ -88,6 +89,8 @@ class AxConv2D(Node):
                  round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  accumulator_bits: int | None = None,
+                 backend: str = "numpy",
+                 max_workers: int = 1,
                  name: str | None = None) -> None:
         if not isinstance(lut, LookupTable):
             raise ConfigurationError("AxConv2D requires a LookupTable instance")
@@ -95,14 +98,24 @@ class AxConv2D(Node):
             raise ConfigurationError(
                 "the quantised range signedness must match the lookup table"
             )
-        self.lut = lut
         self.strides = strides
         self.dilations = dilations
         self.padding = padding
         self.qrange = qrange
-        self.round_mode = RoundMode.from_any(round_mode)
-        self.chunk_size = chunk_size
-        self.accumulator_bits = accumulator_bits
+        #: Every execution routes through the backend registry; the pipeline
+        #: caches this layer's quantised filter bank across runs, so repeated
+        #: inference only pays the filter-side setup once.  The pipeline is
+        #: the single owner of the tunable execution parameters -- ``lut``,
+        #: ``chunk_size``, ``round_mode`` and ``accumulator_bits`` below are
+        #: properties over it, so mutating them on the node keeps working.
+        self.pipeline = InferencePipeline(
+            backend,
+            multiplier=lut,
+            chunk_size=chunk_size,
+            max_workers=max_workers,
+            round_mode=round_mode,
+            accumulator_bits=accumulator_bits,
+        )
         #: Operation counters accumulated across executions (used by the
         #: evaluation harness to attribute time to quantisation/LUT phases).
         self.stats = ApproxConvStats()
@@ -110,19 +123,58 @@ class AxConv2D(Node):
             graph, name, [x, filters, input_min, input_max, filter_min, filter_max],
         )
 
+    # -- tunables delegated to the pipeline so post-construction mutation
+    # -- (an established pattern for ablations) takes effect on execution.
+    @property
+    def lut(self) -> LookupTable:
+        return self.pipeline.multiplier
+
+    @lut.setter
+    def lut(self, value: LookupTable) -> None:
+        if not isinstance(value, LookupTable):
+            raise ConfigurationError("AxConv2D requires a LookupTable instance")
+        self.pipeline.multiplier = value
+
+    @property
+    def chunk_size(self) -> int:
+        return self.pipeline.chunk_size
+
+    @chunk_size.setter
+    def chunk_size(self, value: int) -> None:
+        self.pipeline.chunk_size = value
+
+    @property
+    def round_mode(self) -> RoundMode:
+        return self.pipeline.round_mode
+
+    @round_mode.setter
+    def round_mode(self, value: RoundMode | str) -> None:
+        self.pipeline.round_mode = RoundMode.from_any(value)
+
+    @property
+    def accumulator_bits(self) -> int | None:
+        return self.pipeline.accumulator_bits
+
+    @accumulator_bits.setter
+    def accumulator_bits(self, value: int | None) -> None:
+        self.pipeline.accumulator_bits = value
+
     def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
         self._expect_inputs(inputs, 6)
         x, filters, in_min, in_max, f_min, f_max = inputs
-        return approx_conv2d(
-            x, filters, self.lut,
+        result = self.pipeline.run(
+            x, filters,
             strides=self.strides, dilations=self.dilations, padding=self.padding,
             input_range=(float(in_min), float(in_max)),
             filter_range=(float(f_min), float(f_max)),
-            qrange=self.qrange, round_mode=self.round_mode,
-            chunk_size=self.chunk_size,
-            accumulator_bits=self.accumulator_bits,
-            stats=self.stats,
+            qrange=self.qrange,
         )
+        # Filter-side quantisation counts only accrue on cache misses, which
+        # matches when the work actually happens.
+        self.stats.merge(result.report.stats)
+        self.stats.quantized_values += (
+            int(filters.size) if result.report.filter_cache.misses else 0)
+        return result.output
 
     def infer_shape(self, input_shapes):
         x_shape, f_shape = input_shapes[0], input_shapes[1]

@@ -1,0 +1,344 @@
+"""Tests of the backend registry, caches and the batched inference pipeline.
+
+The central property here is *cross-backend parity*: every registered
+backend must produce bit-identical outputs for the same prepared
+convolution, because they all claim to emulate the same accelerator.  The
+parity test runs every backend over a grid of shapes x multipliers x
+signedness; a new backend registered via ``register_backend`` is picked up
+automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ChunkResult,
+    ConvBackend,
+    FilterBankCache,
+    InferencePipeline,
+    LUTCache,
+    NumpyBackend,
+    RunReport,
+    available_backends,
+    clear_caches,
+    emulate_conv2d,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.conv import approx_conv2d, prepare_conv2d
+from repro.errors import ConfigurationError, RegistryError
+from repro.graph import Graph
+from repro.graph.ops.basic import Constant
+from repro.graph.ops.conv import AxConv2D
+from repro.lut import LookupTable
+from repro.multipliers import library
+
+
+# Small cases: the cpusim backend is a per-pixel Python loop.
+SHAPES = [
+    # (input NHWC, filter HWCK, strides, padding)
+    ((1, 5, 5, 2), (3, 3, 2, 3), (1, 1), "SAME"),
+    ((2, 6, 6, 1), (3, 3, 1, 2), (2, 2), "VALID"),
+    ((3, 4, 4, 2), (1, 1, 2, 4), (1, 1), "SAME"),
+]
+MULTIPLIERS = ["mul8s_mitchell", "mul8u_drum4", "mul8s_exact"]
+
+
+def _case(shape_spec, seed=7):
+    in_shape, f_shape, strides, padding = shape_spec
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=in_shape), rng.normal(size=f_shape),
+            strides, padding)
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("shape_spec", SHAPES, ids=["same", "strided", "1x1"])
+    @pytest.mark.parametrize("multiplier", MULTIPLIERS)
+    def test_all_backends_bit_identical(self, shape_spec, multiplier):
+        inputs, filters, strides, padding = _case(shape_spec)
+        outputs = {
+            name: emulate_conv2d(
+                inputs, filters, multiplier, backend=name,
+                strides=strides, padding=padding, chunk_size=2,
+            )
+            for name in available_backends()
+        }
+        reference = outputs.pop("numpy")
+        assert reference.shape[0] == inputs.shape[0]
+        for name, out in outputs.items():
+            assert np.array_equal(out, reference), (
+                f"backend {name!r} diverged from numpy for {multiplier}"
+            )
+
+    def test_matches_seed_entry_point(self):
+        """emulate_conv2d reproduces the original approx_conv2d exactly."""
+        inputs, filters, strides, padding = _case(SHAPES[0])
+        lut = LookupTable.from_multiplier(library.create("mul8s_mitchell"))
+        seed_path = approx_conv2d(inputs, filters, lut,
+                                  strides=strides, padding=padding)
+        new_path = emulate_conv2d(inputs, filters, lut,
+                                  strides=strides, padding=padding)
+        assert np.array_equal(seed_path, new_path)
+
+    def test_sharded_run_is_deterministic(self):
+        """Thread-pool sharding must not change results or their order."""
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(13, 6, 6, 2))
+        filters = rng.normal(size=(3, 3, 2, 4))
+        sequential = InferencePipeline(
+            "numpy", multiplier="mul8s_mitchell", chunk_size=2, max_workers=1)
+        sharded = InferencePipeline(
+            "numpy", multiplier="mul8s_mitchell", chunk_size=2, max_workers=4)
+        ref = sequential.run(inputs, filters)
+        for _ in range(3):
+            out = sharded.run(inputs, filters)
+            assert np.array_equal(out.output, ref.output)
+        assert ref.report.chunks == 7
+        assert out.report.workers == 4
+
+
+class TestRegistry:
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(RegistryError, match="registered backends"):
+            get_backend("tpu")
+        with pytest.raises(RegistryError, match="numpy"):
+            get_backend("definitely-not-a-backend")
+
+    def test_unknown_backend_via_pipeline(self):
+        with pytest.raises(RegistryError):
+            InferencePipeline("tpu")
+        with pytest.raises(RegistryError):
+            emulate_conv2d(np.zeros((1, 4, 4, 1)), np.zeros((3, 3, 1, 1)),
+                           "mul8u_exact", backend="tpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+
+    def test_register_and_unregister_custom_backend(self):
+        class NegatingBackend(ConvBackend):
+            """Numpy backend with a sign flip (deliberately non-parity)."""
+
+            name = "negating"
+
+            def __init__(self):
+                self._inner = NumpyBackend()
+
+            def run_chunk(self, chunk, prepared, **kwargs):
+                result = self._inner.run_chunk(chunk, prepared, **kwargs)
+                return ChunkResult(output=-result.output, stats=result.stats)
+
+        register_backend("negating", NegatingBackend)
+        try:
+            assert "negating" in available_backends()
+            inputs, filters, strides, padding = _case(SHAPES[0])
+            flipped = emulate_conv2d(inputs, filters, "mul8s_exact",
+                                     backend="negating")
+            straight = emulate_conv2d(inputs, filters, "mul8s_exact")
+            assert np.array_equal(flipped, -straight)
+        finally:
+            unregister_backend("negating")
+        assert "negating" not in available_backends()
+        with pytest.raises(RegistryError):
+            unregister_backend("negating")
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(RegistryError, match="ConvBackend"):
+            register_backend("bogus", object())  # type: ignore[arg-type]
+
+
+class TestCaches:
+    def test_lut_cache_hits_on_repeat(self):
+        cache = LUTCache()
+        first = cache.resolve("mul8s_mitchell")
+        second = cache.resolve("mul8s_mitchell")
+        assert first is second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        # A different multiplier is a separate entry.
+        cache.resolve("mul8u_drum4")
+        assert cache.stats.misses == 2
+
+    def test_lut_cache_passthrough_and_errors(self):
+        cache = LUTCache()
+        lut = LookupTable.from_multiplier(library.create("mul8s_exact"))
+        assert cache.resolve(lut) is lut
+        assert cache.stats.lookups == 0
+        with pytest.raises(ConfigurationError):
+            cache.resolve(1234)  # type: ignore[arg-type]
+
+    def test_pipeline_reports_cache_hits_per_run(self):
+        lut_cache, filter_cache = LUTCache(), FilterBankCache()
+        pipeline = InferencePipeline(
+            "numpy", multiplier="mul8s_mitchell",
+            lut_cache=lut_cache, filter_cache=filter_cache)
+        rng = np.random.default_rng(11)
+        inputs = rng.normal(size=(2, 6, 6, 2))
+        filters = rng.normal(size=(3, 3, 2, 3))
+
+        cold = pipeline.run(inputs, filters).report
+        assert cold.lut_cache.misses == 1 and cold.lut_cache.hits == 0
+        assert cold.filter_cache.misses == 1 and cold.filter_cache.hits == 0
+
+        warm = pipeline.run(inputs, filters).report
+        assert warm.lut_cache.hits == 1 and warm.lut_cache.misses == 0
+        assert warm.filter_cache.hits == 1 and warm.filter_cache.misses == 0
+
+        # New batch, same filters: the filter bank still hits.
+        other = pipeline.run(rng.normal(size=(3, 6, 6, 2)), filters).report
+        assert other.filter_cache.hits == 1
+
+        # Different filters miss; the hit rate reflects the history.
+        pipeline.run(inputs, rng.normal(size=(3, 3, 2, 3)))
+        assert filter_cache.stats.misses == 2
+        assert filter_cache.stats.hits == 2
+
+    def test_filter_cache_distinguishes_quant_config(self):
+        """Same bytes, different quantisation config => different entries."""
+        filter_cache = FilterBankCache()
+        pipeline = InferencePipeline(
+            "numpy", multiplier="mul8s_mitchell", filter_cache=filter_cache)
+        rng = np.random.default_rng(5)
+        inputs = rng.normal(size=(1, 5, 5, 1))
+        filters = rng.normal(size=(3, 3, 1, 2))
+        pipeline.run(inputs, filters)
+        pipeline.run(inputs, filters, filter_range=(-4.0, 4.0))
+        assert filter_cache.stats.misses == 2
+
+    def test_clear_caches_resets_default_caches(self):
+        clear_caches()
+        rng = np.random.default_rng(9)
+        inputs = rng.normal(size=(1, 4, 4, 1))
+        filters = rng.normal(size=(3, 3, 1, 1))
+        report = RunReport()
+        emulate_conv2d(inputs, filters, "mul8u_loa4", report=report)
+        assert report.lut_cache.misses == 1
+        clear_caches()
+        report2 = RunReport()
+        emulate_conv2d(inputs, filters, "mul8u_loa4", report=report2)
+        assert report2.lut_cache.misses == 1
+
+
+class TestRunReport:
+    def test_gpusim_report_includes_launch_accounting(self):
+        rng = np.random.default_rng(2)
+        inputs = rng.normal(size=(3, 5, 5, 2))
+        filters = rng.normal(size=(3, 3, 2, 3))
+        report = RunReport()
+        emulate_conv2d(inputs, filters, "mul8s_exact", backend="gpusim",
+                       chunk_size=2, report=report)
+        assert report.gpu is not None
+        assert report.gpu.chunks == 2
+        assert report.gpu.kernel_launches == 4      # im2cols + gemm per chunk
+        assert report.gpu.texture_fetches > 0
+        assert report.gpu.lut_name == "mul8s_exact"
+        assert len(report.gpu.per_chunk) == 2
+
+    def test_numpy_report_has_no_gpu_section_and_counts_work(self):
+        rng = np.random.default_rng(2)
+        inputs = rng.normal(size=(2, 5, 5, 2))
+        filters = rng.normal(size=(3, 3, 2, 3))
+        report = RunReport()
+        emulate_conv2d(inputs, filters, "mul8s_exact", chunk_size=1,
+                       report=report)
+        assert report.gpu is None
+        positions = 2 * 5 * 5
+        assert report.stats.lut_lookups == positions * 3 * 3 * 2 * 3
+        assert report.stats.chunks == 2
+        assert report.chunks == 2
+        assert report.wall_time_s > 0
+        assert "backend=numpy" in report.summary()
+
+    def test_stats_identical_across_backends(self):
+        """Operation counts depend on geometry, not on the executing engine."""
+        inputs, filters, strides, padding = _case(SHAPES[0])
+        per_backend = {}
+        for name in ("numpy", "cpusim", "gpusim"):
+            report = RunReport()
+            emulate_conv2d(inputs, filters, "mul8s_exact", backend=name,
+                           strides=strides, padding=padding, report=report)
+            per_backend[name] = report.stats
+        reference = per_backend.pop("numpy")
+        for name, stats in per_backend.items():
+            assert stats.lut_lookups == reference.lut_lookups, name
+            assert stats.macs == reference.macs, name
+            assert stats.output_values == reference.output_values, name
+            assert stats.patch_matrix_bytes == reference.patch_matrix_bytes, name
+
+    def test_report_merge_accumulates(self):
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(2, 4, 4, 1))
+        filters = rng.normal(size=(3, 3, 1, 2))
+        total = RunReport()
+        for _ in range(3):
+            emulate_conv2d(inputs, filters, "mul8s_exact", report=total)
+        assert total.batch == 6
+        assert total.stats.chunks == 3
+
+
+class TestPipelineConfiguration:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            InferencePipeline("numpy", chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            InferencePipeline("numpy", max_workers=0)
+
+    def test_missing_multiplier(self):
+        pipeline = InferencePipeline("numpy")
+        with pytest.raises(ConfigurationError, match="multiplier"):
+            pipeline.run(np.zeros((1, 4, 4, 1)), np.zeros((3, 3, 1, 1)))
+
+    def test_finite_accumulator_only_on_numpy(self):
+        rng = np.random.default_rng(6)
+        inputs = rng.normal(size=(1, 4, 4, 1))
+        filters = rng.normal(size=(3, 3, 1, 1))
+        out = emulate_conv2d(inputs, filters, "mul8s_exact",
+                             accumulator_bits=16, saturate=True)
+        assert out.shape == (1, 4, 4, 1)
+        for name in ("cpusim", "gpusim"):
+            with pytest.raises(RegistryError, match="accumulator"):
+                emulate_conv2d(inputs, filters, "mul8s_exact", backend=name,
+                               accumulator_bits=16)
+
+    def test_qrange_derived_from_lut_signedness(self):
+        rng = np.random.default_rng(8)
+        inputs = np.abs(rng.normal(size=(1, 5, 5, 1)))
+        filters = np.abs(rng.normal(size=(3, 3, 1, 2)))
+        # Unsigned multiplier: no explicit qrange needed.
+        out = emulate_conv2d(inputs, filters, "mul8u_drum4")
+        assert out.shape == (1, 5, 5, 2)
+
+
+class TestAxConv2DIntegration:
+    def test_graph_op_routes_through_pipeline_and_caches(self):
+        lut = LookupTable.from_multiplier(library.create("mul8s_mitchell"))
+        rng = np.random.default_rng(13)
+        x_val = rng.normal(size=(2, 6, 6, 2))
+        w_val = rng.normal(size=(3, 3, 2, 3))
+
+        graph = Graph("ax")
+        x = Constant(graph, x_val, name="x")
+        w = Constant(graph, w_val, name="w")
+        in_min = Constant(graph, np.float64(x_val.min()), name="in_min")
+        in_max = Constant(graph, np.float64(x_val.max()), name="in_max")
+        f_min = Constant(graph, np.float64(w_val.min()), name="f_min")
+        f_max = Constant(graph, np.float64(w_val.max()), name="f_max")
+        node = AxConv2D(graph, x, w, in_min, in_max, f_min, f_max, lut=lut)
+
+        expected = approx_conv2d(
+            x_val, w_val, lut,
+            input_range=(float(x_val.min()), float(x_val.max())),
+            filter_range=(float(w_val.min()), float(w_val.max())),
+        )
+        feeds = [x_val, w_val, x_val.min(), x_val.max(), w_val.min(), w_val.max()]
+        first = node.compute(feeds)
+        assert np.array_equal(first, expected)
+        stats_after_first = node.stats.lut_lookups
+
+        # Re-execution reuses the cached filter bank and stays identical.
+        second = node.compute(feeds)
+        assert np.array_equal(second, expected)
+        assert node.stats.lut_lookups == 2 * stats_after_first
