@@ -54,6 +54,35 @@ def test_lut_gemm(benchmark, exact_lut, filters):
     assert acc.shape == (1024, filters)
 
 
+def test_lut_gemm_ops_per_second(exact_lut, bench_json):
+    """Machine-readable LUT-GEMM throughput (emulated MACs per second).
+
+    Timed by hand (medians over repeats) rather than through the
+    ``benchmark`` fixture so the number is still produced under
+    ``--benchmark-disable``, which is how the CI smoke job runs.
+    """
+    import statistics
+    import time
+
+    rng = np.random.default_rng(9)
+    patches = rng.integers(-128, 128, size=(1024, 144))
+    weights = rng.integers(-128, 128, size=(144, 64))
+    macs = patches.shape[0] * patches.shape[1] * weights.shape[1]
+
+    timings = []
+    for _ in range(5):
+        start = time.perf_counter()
+        lut_matmul(patches, weights, exact_lut)
+        timings.append(time.perf_counter() - start)
+    median = statistics.median(timings)
+    bench_json("microkernels", {
+        "lut_gemm_macs": macs,
+        "lut_gemm_median_seconds": median,
+        "lut_gemm_macs_per_s": macs / median,
+    })
+    assert median > 0.0
+
+
 @pytest.mark.benchmark(group="micro")
 def test_float_gemm_reference(benchmark):
     """The accurate float GEMM the LUT path is compared against."""

@@ -76,7 +76,7 @@ def test_warm_pipeline_call(benchmark, workload):
     assert result.report.filter_cache.hits == 1
 
 
-def test_warm_calls_beat_cold_calls(workload):
+def test_warm_calls_beat_cold_calls(workload, bench_json):
     """Acceptance gate: cached calls are measurably faster than cold calls."""
     inputs, filters = workload
     pipeline = InferencePipeline("numpy", multiplier=MULTIPLIER, chunk_size=2)
@@ -99,6 +99,11 @@ def test_warm_calls_beat_cold_calls(workload):
     print(f"\ncold median {cold_median * 1e3:.2f} ms, "
           f"warm median {warm_median * 1e3:.2f} ms, "
           f"speedup {cold_median / warm_median:.2f}x")
+    bench_json("pipeline_cache", {
+        "cold_median_seconds": cold_median,
+        "warm_median_seconds": warm_median,
+        "warm_vs_cold_speedup": cold_median / warm_median,
+    })
     assert warm_median < cold_median, (
         f"cached calls ({warm_median:.4f}s) should beat cold calls "
         f"({cold_median:.4f}s)"

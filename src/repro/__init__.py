@@ -16,7 +16,9 @@ self-contained Python library:
 * :mod:`repro.gpusim` / :mod:`repro.cpusim` -- simulated GPU/CPU devices and
   the analytical timing models behind Table I and Fig. 2;
 * :mod:`repro.models`, :mod:`repro.datasets`, :mod:`repro.evaluation` -- the
-  CIFAR ResNets, a synthetic CIFAR-10 stand-in and the experiment harness.
+  CIFAR ResNets, a synthetic CIFAR-10 stand-in and the experiment harness;
+* :mod:`repro.train` -- approximate-aware training: the STE backward pass,
+  optimisers, LR schedules and the fine-tuning loop.
 """
 
 from . import (
@@ -31,6 +33,7 @@ from . import (
     models,
     multipliers,
     quantization,
+    train,
 )
 from .backends import InferencePipeline, RunReport, emulate_conv2d
 from .errors import TFApproxError
@@ -65,4 +68,5 @@ __all__ = [
     "models",
     "datasets",
     "evaluation",
+    "train",
 ]

@@ -15,11 +15,14 @@ amortisation:
   range) that determines the quantised values.
 
 Both caches are thread-safe (the :class:`~repro.backends.InferencePipeline`
-shards batches across a thread pool) and bounded; eviction is
-least-recently-inserted, which is sufficient for the sweep-style workloads
-this library runs.  Module-level default instances are shared by
-:func:`repro.backends.emulate_conv2d` and every pipeline that does not bring
-its own.
+shards batches across a thread pool) and bounded; eviction is true LRU (a
+hit moves the entry to the back of the eviction queue), which matters for
+training workloads where the same few layers are exercised every step while
+a stream of stale, superseded filter banks passes through.  The trainer in
+:mod:`repro.train` additionally drops superseded banks eagerly through
+:meth:`FilterBankCache.invalidate` after every weight update.  Module-level
+default instances are shared by :func:`repro.backends.emulate_conv2d` and
+every pipeline that does not bring its own.
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -57,11 +61,12 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.evictions)
+        return CacheStats(self.hits, self.misses, self.evictions,
+                          self.invalidations)
 
 
 class _BoundedCache:
-    """Thread-safe insertion-ordered cache with a maximum entry count."""
+    """Thread-safe LRU cache with a maximum entry count."""
 
     def __init__(self, max_entries: int) -> None:
         if max_entries <= 0:
@@ -84,21 +89,36 @@ class _BoundedCache:
         with self._lock:
             if key in self._entries:
                 self.stats.hits += 1
+                # True LRU: a hit refreshes the entry's position in the
+                # eviction queue, so hot entries (a training loop hitting the
+                # same layers every step) survive a stream of one-shot keys.
+                self._entries.move_to_end(key)
                 return self._entries[key]
         # Build outside the lock: table construction can be expensive and
         # must not serialise unrelated lookups.  A racing duplicate build is
         # harmless (last writer wins; values for equal keys are equal).
         value = build()
         with self._lock:
+            # The lookup missed regardless of whether a racing thread
+            # inserted the key meanwhile -- this caller paid for a build.
+            self.stats.misses += 1
             if key not in self._entries:
-                self.stats.misses += 1
                 self._entries[key] = value
                 while len(self._entries) > self._max_entries:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
             else:
-                self.stats.hits += 1
+                self._entries.move_to_end(key)
             return self._entries[key]
+
+    def _invalidate_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count."""
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+        return len(stale)
 
 
 class LUTCache(_BoundedCache):
@@ -171,6 +191,16 @@ class FilterBankCache(_BoundedCache):
     def __init__(self, max_entries: int = 128) -> None:
         super().__init__(max_entries)
 
+    @staticmethod
+    def content_digest(filters: np.ndarray) -> str:
+        """Digest identifying a filter tensor's contents in the cache keys.
+
+        The trainer records this before an optimiser step so it can
+        :meth:`invalidate` every bank derived from the superseded weights.
+        """
+        data = np.ascontiguousarray(filters)
+        return hashlib.sha1(data.tobytes()).hexdigest()
+
     def resolve(self, filters: np.ndarray, *,
                 qrange: IntegerRange,
                 round_mode: RoundMode,
@@ -178,13 +208,24 @@ class FilterBankCache(_BoundedCache):
                 build) -> PreparedFilterBank:
         """Return the prepared bank for ``filters``, building it on a miss."""
         data = np.ascontiguousarray(filters)
-        digest = hashlib.sha1(data.tobytes()).hexdigest()
         key = (
-            digest, data.shape, str(data.dtype),
+            self.content_digest(data), data.shape, str(data.dtype),
             (qrange.qmin, qrange.qmax), RoundMode.from_any(round_mode),
             _range_key(filter_range),
         )
         return self._get_or_build(key, build)
+
+    def invalidate(self, digest: str) -> int:
+        """Drop every cached bank derived from the tensor with ``digest``.
+
+        Called by :class:`repro.train.Trainer` after a weight update: the
+        superseded banks can never be requested again (their content digest
+        no longer matches any live tensor), so dropping them eagerly keeps
+        the cache from filling up with dead entries and guarantees a stale
+        quantised bank is never served for recycled storage.  Returns the
+        number of entries removed.
+        """
+        return self._invalidate_where(lambda key: key[0] == digest)
 
 
 #: Default process-wide caches shared by :func:`repro.backends.emulate_conv2d`

@@ -93,6 +93,7 @@ class RunReport:
             mine.hits += theirs.hits
             mine.misses += theirs.misses
             mine.evictions += theirs.evictions
+            mine.invalidations += theirs.invalidations
         if other.gpu is not None:
             if self.gpu is None:
                 self.gpu = GPUConvRunReport()
@@ -136,6 +137,7 @@ def _cache_delta(after: CacheStats, before: CacheStats) -> CacheStats:
         hits=after.hits - before.hits,
         misses=after.misses - before.misses,
         evictions=after.evictions - before.evictions,
+        invalidations=after.invalidations - before.invalidations,
     )
 
 

@@ -13,13 +13,14 @@ from .approx_conv2d import (
     validate_conv_operands,
 )
 from .gemm import approx_gemm, dequantize_gemm, gemm_float, lut_matmul
-from .im2col import filter_sums, flatten_filters, im2col, im2col_quantized
+from .im2col import col2im, filter_sums, flatten_filters, im2col, im2col_quantized
 from .padding import ConvGeometry, resolve_geometry
 from .reference import (
     approx_conv2d_direct,
     approx_conv2d_direct_quantized,
     conv2d_direct,
     conv2d_float,
+    conv2d_float_backward,
     fake_quant_conv2d,
 )
 
@@ -40,11 +41,13 @@ __all__ = [
     "lut_matmul",
     "im2col",
     "im2col_quantized",
+    "col2im",
     "flatten_filters",
     "filter_sums",
     "ConvGeometry",
     "resolve_geometry",
     "conv2d_float",
+    "conv2d_float_backward",
     "conv2d_direct",
     "approx_conv2d_direct",
     "approx_conv2d_direct_quantized",

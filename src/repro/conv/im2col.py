@@ -131,6 +131,44 @@ def im2col_quantized(inputs: np.ndarray, kernel_height: int, kernel_width: int,
     return patches.astype(np.int64), patch_sums, geometry
 
 
+def col2im(patches: np.ndarray, input_shape, kernel_height: int,
+           kernel_width: int, *, strides=(1, 1), dilations=(1, 1),
+           padding: str = "SAME") -> np.ndarray:
+    """Scatter-add patch-matrix rows back onto an NHWC tensor.
+
+    This is the adjoint of :func:`im2col`: every patch value is added to the
+    input pixel it was gathered from (pixels covered by several kernel
+    positions accumulate all of their contributions; padded positions are
+    discarded).  It is the core of the convolution backward pass, turning
+    the gradient of the patch matrix into the gradient of the input batch.
+    """
+    batch, in_h, in_w, channels = input_shape
+    geometry = resolve_geometry(
+        in_h, in_w, kernel_height, kernel_width,
+        strides=strides, dilations=dilations, padding=padding,
+    )
+    expected = (batch * geometry.patch_positions,
+                kernel_height * kernel_width * channels)
+    if patches.shape != expected:
+        raise ShapeError(
+            f"patch matrix has shape {patches.shape}, expected {expected} for "
+            f"input shape {tuple(input_shape)}"
+        )
+    padded = np.zeros(
+        (batch, geometry.padded_height, geometry.padded_width, channels),
+        dtype=np.float64,
+    )
+    rows, cols, chans = _patch_indices(geometry, channels)
+    values = patches.reshape(batch, geometry.patch_positions, -1)
+    np.add.at(
+        padded,
+        (np.arange(batch)[:, None, None], rows[None], cols[None], chans[None]),
+        values,
+    )
+    return padded[:, geometry.pad_top:geometry.pad_top + in_h,
+                  geometry.pad_left:geometry.pad_left + in_w, :]
+
+
 def flatten_filters(filters: np.ndarray) -> np.ndarray:
     """Flatten an HWCK filter bank into the GEMM filter matrix.
 

@@ -27,7 +27,7 @@ import numpy as np
 from ..errors import ShapeError
 from ..lut.table import LookupTable
 from ..quantization.affine import QuantParams
-from .im2col import filter_sums, flatten_filters, im2col
+from .im2col import col2im, filter_sums, flatten_filters, im2col
 from .gemm import dequantize_gemm, gemm_float
 from .padding import resolve_geometry
 
@@ -57,6 +57,45 @@ def conv2d_float(inputs: np.ndarray, filters: np.ndarray, *,
     flat = flatten_filters(filters)
     out = gemm_float(patches, flat)
     return out.reshape(batch, geometry.output_height, geometry.output_width, count)
+
+
+def conv2d_float_backward(grad_output: np.ndarray, inputs: np.ndarray,
+                          filters: np.ndarray, *, strides=(1, 1),
+                          dilations=(1, 1), padding: str = "SAME",
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of :func:`conv2d_float` w.r.t. its input and filter tensors.
+
+    The forward pass is ``im2col(x) @ flatten(w)``; the adjoints are the
+    matching matrix products, with :func:`~repro.conv.im2col.col2im`
+    scattering the patch-matrix gradient back onto the input pixels.  The
+    approximate ``AxConv2D`` op reuses this exact-float gradient under the
+    straight-through-estimator convention (approximate forward, exact
+    backward through the dequantised values).
+    """
+    _check_conv_args(inputs, filters)
+    kh, kw, _, count = filters.shape
+    geometry = resolve_geometry(
+        inputs.shape[1], inputs.shape[2], kh, kw,
+        strides=strides, dilations=dilations, padding=padding,
+    )
+    expected = (inputs.shape[0], geometry.output_height,
+                geometry.output_width, count)
+    if grad_output.shape != expected:
+        raise ShapeError(
+            f"grad_output must have the forward output shape {expected}, "
+            f"got {grad_output.shape}"
+        )
+    patches, _ = im2col(
+        inputs, kh, kw, strides=strides, dilations=dilations, padding=padding,
+    )
+    grad_flat_out = grad_output.reshape(-1, count)
+    grad_filters = (patches.T @ grad_flat_out).reshape(filters.shape)
+    grad_patches = grad_flat_out @ flatten_filters(filters).T
+    grad_inputs = col2im(
+        grad_patches, inputs.shape, kh, kw,
+        strides=strides, dilations=dilations, padding=padding,
+    )
+    return grad_inputs, grad_filters
 
 
 def conv2d_direct(inputs: np.ndarray, filters: np.ndarray, *,

@@ -7,6 +7,11 @@ from .accuracy import (
     top_k_accuracy,
 )
 from .error_analysis import TensorErrorReport, per_layer_errors, tensor_error
+from .finetune import (
+    FineTuneRecoveryReport,
+    distorted_split,
+    run_finetune_recovery,
+)
 from .paper_reference import (
     PAPER_FIG2,
     PAPER_FIG2_MODELS,
@@ -37,6 +42,9 @@ __all__ = [
     "TensorErrorReport",
     "tensor_error",
     "per_layer_errors",
+    "FineTuneRecoveryReport",
+    "distorted_split",
+    "run_finetune_recovery",
     "PAPER_TABLE1",
     "PAPER_FIG2",
     "PAPER_FIG2_MODELS",

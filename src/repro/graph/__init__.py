@@ -6,22 +6,26 @@ swaps accurate convolutions for approximate ones.
 """
 
 from . import ops
-from .executor import ExecutionProfile, Executor, infer_shapes
+from .executor import BackwardResult, ExecutionProfile, Executor, Tape, infer_shapes
 from .graph import Graph
 from .layerwise import (
     LayerwiseReport,
     approximate_graph_layerwise,
     uniform_assignment,
 )
-from .node import Node
+from .node import Node, OpContext, unbroadcast
 from .rewriter import count_op_types, remove_dead_nodes, replace_consumers
 from .transform import TransformReport, approximate_graph, restore_accurate_graph
 
 __all__ = [
     "Graph",
     "Node",
+    "OpContext",
+    "unbroadcast",
     "Executor",
     "ExecutionProfile",
+    "Tape",
+    "BackwardResult",
     "infer_shapes",
     "ops",
     "replace_consumers",

@@ -3,14 +3,21 @@
 The paper's tool operates on TensorFlow graphs; here the same role is played
 by a deliberately small dataflow-graph framework.  A :class:`Node` is one
 operation with a single output tensor; it knows its input nodes, its
-attributes and how to compute its output from concrete NumPy inputs.  The
-graph-transformation machinery of Fig. 1 (Conv2D → AxConv2D with Min/Max
-range nodes) only needs these properties, so anything heavier (autodiff,
-multi-output ops, devices) is intentionally left out.
+attributes, how to compute its output from concrete NumPy inputs and -- for
+the training subsystem of :mod:`repro.train` -- how to propagate a gradient
+back to its inputs.  Reverse-mode differentiation lives in
+:meth:`repro.graph.executor.Executor.backward`; each op only supplies the
+local vector-Jacobian product via :meth:`Node.backward`.
+
+The quantised/approximate ops follow the straight-through-estimator (STE)
+convention established by ApproxTrain: the forward pass runs the quantised,
+approximate computation, while the backward pass differentiates the exact
+float computation through the dequantised values.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -19,6 +26,36 @@ from ..errors import GraphError, ShapeError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .graph import Graph
+
+
+@dataclass(frozen=True)
+class OpContext:
+    """Forward-pass values of one node, as recorded on the gradient tape.
+
+    ``inputs`` holds the concrete arrays the node's :meth:`Node.compute` was
+    called with (positional order) and ``output`` the array it returned, so
+    a :meth:`Node.backward` implementation never needs to recompute or store
+    anything during the forward pass.
+    """
+
+    inputs: tuple[np.ndarray, ...]
+    output: np.ndarray
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a gradient back to the shape of a broadcast operand.
+
+    Elementwise ops follow NumPy broadcasting in the forward direction; the
+    adjoint sums the gradient over every broadcast axis so it matches the
+    operand's original shape.
+    """
+    grad = np.asarray(grad, dtype=np.float64)
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
 
 
 class Node:
@@ -94,6 +131,21 @@ class Node:
                     ) -> tuple[int, ...] | None:
         """Best-effort static output shape; ``None`` when unknown."""
         return None
+
+    def backward(self, grad_output: np.ndarray, ctx: OpContext
+                 ) -> list[np.ndarray | None]:
+        """Vector-Jacobian product: gradients w.r.t. every input.
+
+        ``grad_output`` is the gradient of the scalar objective w.r.t. this
+        node's output; ``ctx`` carries the forward values recorded on the
+        tape.  The result list is aligned with :attr:`inputs`; ``None``
+        marks an input the op is not differentiable in (e.g. the range
+        scalars of ``AxConv2D``), which prunes that branch of the backward
+        sweep.
+        """
+        raise GraphError(
+            f"{self.op_type} node {self.name!r} does not implement backward()"
+        )
 
     # ------------------------------------------------------------------
     def _expect_inputs(self, inputs: list[np.ndarray], count: int) -> None:

@@ -13,7 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from ...errors import ExecutionError, ShapeError
-from ..node import Node
+from ..node import Node, OpContext, unbroadcast
 
 
 class Placeholder(Node):
@@ -103,6 +103,9 @@ class Identity(Node):
         self._expect_inputs(inputs, 1)
         return inputs[0]
 
+    def backward(self, grad_output, ctx: OpContext):
+        return [grad_output]
+
     def infer_shape(self, input_shapes):
         return input_shapes[0]
 
@@ -119,6 +122,11 @@ class Add(Node):
         self._expect_inputs(inputs, 2)
         return inputs[0] + inputs[1]
 
+    def backward(self, grad_output, ctx: OpContext):
+        a, b = ctx.inputs
+        return [unbroadcast(grad_output, a.shape),
+                unbroadcast(grad_output, b.shape)]
+
     def infer_shape(self, input_shapes):
         return input_shapes[0] or input_shapes[1]
 
@@ -134,6 +142,11 @@ class Multiply(Node):
     def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
         self._expect_inputs(inputs, 2)
         return inputs[0] * inputs[1]
+
+    def backward(self, grad_output, ctx: OpContext):
+        a, b = ctx.inputs
+        return [unbroadcast(grad_output * b, a.shape),
+                unbroadcast(grad_output * a, b.shape)]
 
     def infer_shape(self, input_shapes):
         return input_shapes[0] or input_shapes[1]
@@ -159,6 +172,10 @@ class BiasAdd(Node):
             )
         return x + bias
 
+    def backward(self, grad_output, ctx: OpContext):
+        axes = tuple(range(grad_output.ndim - 1))
+        return [grad_output, grad_output.sum(axis=axes)]
+
     def infer_shape(self, input_shapes):
         return input_shapes[0]
 
@@ -174,6 +191,9 @@ class ReLU(Node):
     def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
         self._expect_inputs(inputs, 1)
         return np.maximum(inputs[0], 0.0)
+
+    def backward(self, grad_output, ctx: OpContext):
+        return [grad_output * (ctx.inputs[0] > 0.0)]
 
     def infer_shape(self, input_shapes):
         return input_shapes[0]
@@ -194,6 +214,11 @@ class Softmax(Node):
         exp = np.exp(shifted)
         return exp / exp.sum(axis=-1, keepdims=True)
 
+    def backward(self, grad_output, ctx: OpContext):
+        y = ctx.output
+        inner = (grad_output * y).sum(axis=-1, keepdims=True)
+        return [y * (grad_output - inner)]
+
     def infer_shape(self, input_shapes):
         return input_shapes[0]
 
@@ -210,6 +235,9 @@ class Flatten(Node):
         self._expect_inputs(inputs, 1)
         x = inputs[0]
         return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output, ctx: OpContext):
+        return [grad_output.reshape(ctx.inputs[0].shape)]
 
     def infer_shape(self, input_shapes):
         shape = input_shapes[0]
@@ -234,6 +262,9 @@ class Reshape(Node):
     def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
         self._expect_inputs(inputs, 1)
         return inputs[0].reshape(self._target)
+
+    def backward(self, grad_output, ctx: OpContext):
+        return [grad_output.reshape(ctx.inputs[0].shape)]
 
     def infer_shape(self, input_shapes):
         if -1 in self._target:
@@ -262,6 +293,13 @@ class Pad(Node):
         return np.pad(x, self._paddings, mode="constant",
                       constant_values=self._constant_value)
 
+    def backward(self, grad_output, ctx: OpContext):
+        crop = tuple(
+            slice(lo, grad_output.shape[axis] - hi)
+            for axis, (lo, hi) in enumerate(self._paddings)
+        )
+        return [grad_output[crop]]
+
     def infer_shape(self, input_shapes):
         shape = input_shapes[0]
         if shape is None:
@@ -284,6 +322,12 @@ class ReduceMin(Node):
         self._expect_inputs(inputs, 1)
         return np.asarray(inputs[0].min(), dtype=np.float64)
 
+    def backward(self, grad_output, ctx: OpContext):
+        # The Fig. 1 range probes feed quantisation coefficients, not the
+        # data path; training treats them as detached statistics (the STE
+        # convention), so no gradient flows through them.
+        return [None]
+
     def infer_shape(self, input_shapes):
         return ()
 
@@ -299,6 +343,10 @@ class ReduceMax(Node):
     def compute(self, inputs: list[np.ndarray]) -> np.ndarray:
         self._expect_inputs(inputs, 1)
         return np.asarray(inputs[0].max(), dtype=np.float64)
+
+    def backward(self, grad_output, ctx: OpContext):
+        # Detached range statistic; see ReduceMin.backward.
+        return [None]
 
     def infer_shape(self, input_shapes):
         return ()

@@ -16,12 +16,12 @@ import numpy as np
 from ...backends.pipeline import InferencePipeline
 from ...conv.approx_conv2d import DEFAULT_CHUNK_SIZE, ApproxConvStats
 from ...conv.padding import resolve_geometry
-from ...conv.reference import conv2d_float
+from ...conv.reference import conv2d_float, conv2d_float_backward
 from ...errors import ConfigurationError, ShapeError
 from ...lut.table import LookupTable
 from ...quantization.affine import IntegerRange, SIGNED_8BIT
 from ...quantization.rounding import RoundMode
-from ..node import Node
+from ..node import Node, OpContext
 
 
 class Conv2D(Node):
@@ -44,6 +44,14 @@ class Conv2D(Node):
             x, filters,
             strides=self.strides, dilations=self.dilations, padding=self.padding,
         )
+
+    def backward(self, grad_output, ctx: OpContext):
+        x, filters = ctx.inputs
+        grad_x, grad_w = conv2d_float_backward(
+            grad_output, x, filters,
+            strides=self.strides, dilations=self.dilations, padding=self.padding,
+        )
+        return [grad_x, grad_w]
 
     def infer_shape(self, input_shapes):
         x_shape, f_shape = input_shapes
@@ -175,6 +183,24 @@ class AxConv2D(Node):
         self.stats.quantized_values += (
             int(filters.size) if result.report.filter_cache.misses else 0)
         return result.output
+
+    def backward(self, grad_output, ctx: OpContext):
+        """Straight-through-estimator gradient (ApproxTrain convention).
+
+        The forward pass is the quantised, approximate convolution; the
+        backward pass differentiates the *exact float* convolution of the
+        original operands instead.  The quantise→dequantise pair is treated
+        as identity and the multiplier's approximation error as a
+        zero-gradient perturbation, which is what makes fine-tuning through
+        an emulated accelerator converge.  The four range scalars are
+        detached quantisation statistics and receive no gradient.
+        """
+        x, filters = ctx.inputs[0], ctx.inputs[1]
+        grad_x, grad_w = conv2d_float_backward(
+            grad_output, x, filters,
+            strides=self.strides, dilations=self.dilations, padding=self.padding,
+        )
+        return [grad_x, grad_w, None, None, None, None]
 
     def infer_shape(self, input_shapes):
         x_shape, f_shape = input_shapes[0], input_shapes[1]

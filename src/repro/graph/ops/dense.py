@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ShapeError
-from ..node import Node
+from ..node import Node, OpContext
 
 
 class MatMul(Node):
@@ -29,6 +29,10 @@ class MatMul(Node):
                 f"inner dimensions do not match: {x.shape} x {w.shape}"
             )
         return x @ w
+
+    def backward(self, grad_output, ctx: OpContext):
+        x, w = ctx.inputs
+        return [grad_output @ w.T, x.T @ grad_output]
 
     def infer_shape(self, input_shapes):
         x_shape, w_shape = input_shapes

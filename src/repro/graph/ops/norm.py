@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ConfigurationError, ShapeError
-from ..node import Node
+from ..node import Node, OpContext
 
 
 class BatchNorm(Node):
@@ -45,6 +45,18 @@ class BatchNorm(Node):
             raise ConfigurationError("variance must be non-negative")
         scale = gamma / np.sqrt(variance + self.epsilon)
         return (x - mean) * scale + beta
+
+    def backward(self, grad_output, ctx: OpContext):
+        x, gamma, _, mean, variance = ctx.inputs
+        inv_std = 1.0 / np.sqrt(variance + self.epsilon)
+        axes = tuple(range(grad_output.ndim - 1))
+        grad_x = grad_output * (gamma * inv_std)
+        grad_gamma = (grad_output * (x - mean) * inv_std).sum(axis=axes)
+        grad_beta = grad_output.sum(axis=axes)
+        # The moving statistics are frozen (inference-form batch norm, the
+        # fine-tuning setting of the paper's retraining experiments): they
+        # are data, not parameters, so they receive no gradient.
+        return [grad_x, grad_gamma, grad_beta, None, None]
 
     def infer_shape(self, input_shapes):
         return input_shapes[0]

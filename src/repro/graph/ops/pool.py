@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...conv.im2col import col2im
 from ...conv.padding import resolve_geometry
 from ...errors import ShapeError
-from ..node import Node
+from ..node import Node, OpContext
 
 
 def _pool_patches(x: np.ndarray, kernel, strides, padding: str,
@@ -43,6 +44,24 @@ def _pool_patches(x: np.ndarray, kernel, strides, padding: str,
     return windows, (geometry.output_height, geometry.output_width)
 
 
+def _scatter_patches(grad_windows: np.ndarray, input_shape, kernel, strides,
+                     padding: str) -> np.ndarray:
+    """Adjoint of :func:`_pool_patches`: add window gradients back onto pixels.
+
+    The ``[N, OH, OW, KH*KW, C]`` window layout flattens to exactly the
+    (kernel row, kernel column, channel) column order of the convolution
+    patch matrix, so the scatter-add is :func:`repro.conv.im2col.col2im`
+    verbatim (pixels covered by overlapping windows accumulate every
+    contribution, gradients landing on padded positions are discarded).
+    """
+    batch = input_shape[0]
+    kh, kw = kernel
+    return col2im(
+        grad_windows.reshape(batch * grad_windows.shape[1] * grad_windows.shape[2], -1),
+        input_shape, kh, kw, strides=strides, padding=padding,
+    )
+
+
 class MaxPool2D(Node):
     """Max pooling over NHWC tensors."""
 
@@ -61,6 +80,20 @@ class MaxPool2D(Node):
             inputs[0], self.kernel, self.strides, self.padding, -np.inf,
         )
         return windows.max(axis=3)
+
+    def backward(self, grad_output, ctx: OpContext):
+        windows, _ = _pool_patches(
+            ctx.inputs[0], self.kernel, self.strides, self.padding, -np.inf,
+        )
+        # Route the gradient to the window maxima; ties share it equally
+        # (matches the subgradient convention of TF/PyTorch up to tie order).
+        mask = windows == ctx.output[:, :, :, None, :]
+        ties = mask.sum(axis=3, keepdims=True)
+        grad_windows = mask * (grad_output[:, :, :, None, :] / ties)
+        return [_scatter_patches(
+            grad_windows, ctx.inputs[0].shape, self.kernel, self.strides,
+            self.padding,
+        )]
 
     def infer_shape(self, input_shapes):
         shape = input_shapes[0]
@@ -92,6 +125,16 @@ class AvgPool2D(Node):
         )
         return windows.mean(axis=3)
 
+    def backward(self, grad_output, ctx: OpContext):
+        kh, kw = self.kernel
+        x = ctx.inputs[0]
+        share = grad_output[:, :, :, None, :] / (kh * kw)
+        grad_windows = np.broadcast_to(
+            share, grad_output.shape[:3] + (kh * kw, x.shape[3]))
+        return [_scatter_patches(
+            grad_windows, x.shape, self.kernel, self.strides, self.padding,
+        )]
+
     def infer_shape(self, input_shapes):
         shape = input_shapes[0]
         if shape is None or any(s is None for s in shape[1:3]):
@@ -117,6 +160,13 @@ class GlobalAvgPool(Node):
         if x.ndim != 4:
             raise ShapeError(f"GlobalAvgPool expects an NHWC tensor, got {x.shape}")
         return x.mean(axis=(1, 2))
+
+    def backward(self, grad_output, ctx: OpContext):
+        x = ctx.inputs[0]
+        positions = x.shape[1] * x.shape[2]
+        grad = np.broadcast_to(
+            grad_output[:, None, None, :] / positions, x.shape)
+        return [grad]
 
     def infer_shape(self, input_shapes):
         shape = input_shapes[0]

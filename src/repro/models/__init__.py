@@ -1,6 +1,6 @@
 """Model zoo: CIFAR ResNets (Table I) and a small demo CNN."""
 
-from .calibration import calibrate_classifier, extract_features
+from .calibration import calibrate_classifier, extract_features, temper_classifier
 from .resnet import (
     PAPER_DEPTHS,
     ResNetModel,
@@ -19,6 +19,7 @@ from .summary import (
 __all__ = [
     "calibrate_classifier",
     "extract_features",
+    "temper_classifier",
     "PAPER_DEPTHS",
     "ResNetModel",
     "build_resnet",

@@ -85,3 +85,36 @@ def calibrate_classifier(model, dataset: DatasetSplit, *, batch_size: int = 32,
 
     logits = standardized @ centroids.T - 0.5 * np.sum(centroids ** 2, axis=1)
     return float((logits.argmax(axis=1) == labels).mean())
+
+
+def temper_classifier(model, dataset: DatasetSplit, *, target_scale: float = 2.0,
+                      batch_size: int = 32,
+                      normalize_inputs: bool = True) -> float:
+    """Rescale the classifier so its logits have a cross-entropy-friendly scale.
+
+    The nearest-class-mean classifier of :func:`calibrate_classifier` folds a
+    ``1/std`` feature standardisation into the dense layer, which can make
+    the logits arbitrarily large.  Argmax accuracy does not care, but a
+    fine-tuning loss does: saturated softmax outputs produce near-maximal
+    gradients on every mistake and blow up the first optimisation steps.
+    Dividing weights and bias by a common temperature leaves every prediction
+    unchanged while bringing the mean absolute logit to ``target_scale``.
+    Returns the applied temperature.
+    """
+    if target_scale <= 0:
+        raise ConfigurationError("target_scale must be positive")
+    if model.classifier_weights is None or model.classifier_bias is None:
+        raise ConfigurationError("model does not expose classifier constants")
+    executor = Executor(model.graph)
+    logits = []
+    for images, _ in dataset.batches(batch_size):
+        feed = normalize(images) if normalize_inputs else images
+        logits.append(executor.run(model.logits, {model.input_node: feed}))
+    scale = float(np.abs(np.concatenate(logits, axis=0)).mean())
+    if scale == 0.0:
+        return 1.0
+    temperature = scale / target_scale
+    model.classifier_weights.set_value(
+        model.classifier_weights.value / temperature)
+    model.classifier_bias.set_value(model.classifier_bias.value / temperature)
+    return temperature

@@ -1,0 +1,59 @@
+"""Training objectives.
+
+The retraining experiments of the paper (and of ApproxTrain/AdaPT) all
+minimise the softmax cross-entropy of the classifier logits; this module
+provides that loss together with its gradient, which seeds the backward
+sweep of :meth:`repro.graph.Executor.backward`.  The loss is computed
+*outside* the graph so the trainer can fetch logits once and reuse the same
+tape for the gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels as one-hot rows."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be a vector, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ShapeError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray
+                          ) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. the logits.
+
+    Returns ``(loss, grad)`` where ``grad`` has the shape of ``logits`` and
+    already includes the ``1/batch`` factor of the mean, so it can seed
+    :meth:`repro.graph.Executor.backward` directly.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be [batch, classes], got {logits.shape}")
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"labels shape {labels.shape} does not match logits {logits.shape}"
+        )
+    batch = logits.shape[0]
+    log_probs = log_softmax(logits)
+    loss = -float(log_probs[np.arange(batch), labels].mean())
+    grad = (np.exp(log_probs) - one_hot(labels, logits.shape[1])) / batch
+    return loss, grad

@@ -1,0 +1,76 @@
+"""Learning-rate schedules.
+
+A schedule is a callable mapping the (0-based) epoch index to the learning
+rate the :class:`~repro.train.trainer.Trainer` installs on its optimiser at
+the start of that epoch.  Step decay and cosine annealing cover the recipes
+of the CIFAR ResNet retraining runs; :class:`ConstantLR` is the explicit
+no-op spelling.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+class LRSchedule:
+    """Base class: epoch index -> learning rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ConfigurationError("base_lr must be positive")
+        self.base_lr = float(base_lr)
+
+    def __call__(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """The base learning rate, every epoch."""
+
+    def __call__(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, base_lr: float, *, step_size: int, gamma: float = 0.1
+                 ) -> None:
+        super().__init__(base_lr)
+        if step_size <= 0:
+            raise ConfigurationError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError("gamma must lie in (0, 1]")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRSchedule):
+    """Cosine annealing from ``base_lr`` down to ``min_lr`` over a run.
+
+    ``lr(e) = min_lr + (base_lr - min_lr) * (1 + cos(pi * e / (E - 1))) / 2``
+    with ``E = total_epochs``; the first epoch runs at ``base_lr`` and the
+    last at ``min_lr``.
+    """
+
+    def __init__(self, base_lr: float, *, total_epochs: int,
+                 min_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_epochs <= 0:
+            raise ConfigurationError("total_epochs must be positive")
+        if min_lr < 0 or min_lr > base_lr:
+            raise ConfigurationError("min_lr must lie in [0, base_lr]")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def __call__(self, epoch: int) -> float:
+        if self.total_epochs == 1:
+            return self.base_lr
+        epoch = min(max(epoch, 0), self.total_epochs - 1)
+        cosine = (1.0 + math.cos(math.pi * epoch / (self.total_epochs - 1))) / 2.0
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

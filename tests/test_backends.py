@@ -208,6 +208,76 @@ class TestCaches:
         pipeline.run(inputs, filters, filter_range=(-4.0, 4.0))
         assert filter_cache.stats.misses == 2
 
+    def test_lru_eviction_order_prefers_recently_hit_entries(self):
+        """A hit refreshes the eviction queue: true LRU, not insertion order."""
+        cache = LUTCache(max_entries=2)
+        cache.resolve("mul8s_mitchell")   # oldest insertion...
+        cache.resolve("mul8u_drum4")
+        cache.resolve("mul8s_mitchell")   # ...but refreshed by this hit
+        cache.resolve("mul8u_loa4")       # evicts mul8u_drum4, not mitchell
+        assert cache.stats.evictions == 1
+
+        before = cache.stats.snapshot()
+        cache.resolve("mul8s_mitchell")
+        assert cache.stats.hits == before.hits + 1
+
+        cache.resolve("mul8u_drum4")      # was evicted => rebuilt
+        assert cache.stats.misses == before.misses + 1
+
+    def test_filter_cache_invalidate_drops_stale_banks(self):
+        """After a weight update, invalidated banks are rebuilt, not served."""
+        filter_cache = FilterBankCache()
+        pipeline = InferencePipeline(
+            "numpy", multiplier="mul8s_mitchell", filter_cache=filter_cache)
+        rng = np.random.default_rng(17)
+        inputs = rng.normal(size=(1, 5, 5, 2))
+        filters = rng.normal(size=(3, 3, 2, 3))
+
+        pipeline.run(inputs, filters)
+        digest = FilterBankCache.content_digest(filters)
+        assert filter_cache.invalidate(digest) == 1
+        assert filter_cache.stats.invalidations == 1
+        assert len(filter_cache) == 0
+
+        # The next run with the same weights must rebuild, never serve a
+        # stale entry...
+        report = pipeline.run(inputs, filters).report
+        assert report.filter_cache.misses == 1 and report.filter_cache.hits == 0
+        # ...and invalidating an unknown digest is a harmless no-op.
+        assert filter_cache.invalidate("no-such-digest") == 0
+
+    def test_filter_cache_invalidate_is_content_exact(self):
+        """Invalidation only removes banks of the superseded tensor."""
+        filter_cache = FilterBankCache()
+        pipeline = InferencePipeline(
+            "numpy", multiplier="mul8s_mitchell", filter_cache=filter_cache)
+        rng = np.random.default_rng(23)
+        inputs = rng.normal(size=(1, 5, 5, 1))
+        old_weights = rng.normal(size=(3, 3, 1, 2))
+        other_layer = rng.normal(size=(3, 3, 1, 4))
+        pipeline.run(inputs, old_weights)
+        pipeline.run(inputs, other_layer)
+
+        # A weight update: the old bank dies, the unrelated layer survives.
+        filter_cache.invalidate(FilterBankCache.content_digest(old_weights))
+        new_weights = old_weights + 0.01
+        pipeline.run(inputs, new_weights)
+        report = pipeline.run(inputs, other_layer).report
+        assert report.filter_cache.hits == 1
+        assert filter_cache.stats.invalidations == 1
+
+    def test_clear_resets_entries_and_stats(self):
+        filter_cache = FilterBankCache()
+        pipeline = InferencePipeline(
+            "numpy", multiplier="mul8s_mitchell", filter_cache=filter_cache)
+        rng = np.random.default_rng(29)
+        pipeline.run(rng.normal(size=(1, 4, 4, 1)),
+                     rng.normal(size=(3, 3, 1, 1)))
+        assert len(filter_cache) == 1
+        filter_cache.clear()
+        assert len(filter_cache) == 0
+        assert filter_cache.stats.lookups == 0
+
     def test_clear_caches_resets_default_caches(self):
         clear_caches()
         rng = np.random.default_rng(9)

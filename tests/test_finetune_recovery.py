@@ -1,0 +1,53 @@
+"""Integration test of the end-to-end fine-tuning recovery workflow.
+
+This is the acceptance gate of the training subsystem: on a seeded
+small-CNN / CIFAR-subset run, fine-tuning through the emulated approximate
+multiplier must recover accuracy -- the approximate model's held-out
+accuracy after fine-tuning exceeds its accuracy before.  The run mirrors
+the paper's Section IV retraining experiments (and ApproxTrain's STE
+training) at a scale the pure-Python emulation can execute in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import clear_caches
+from repro.evaluation import run_finetune_recovery
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_finetuning_recovers_accuracy():
+    report = run_finetune_recovery()  # the seeded default experiment
+
+    # The multiplier must actually cost accuracy (otherwise the experiment
+    # proves nothing) ...
+    assert report.accuracy_drop > 0.05, (
+        f"expected a real accuracy drop, got {report.accuracy_drop:+.3f}"
+    )
+    # ... and fine-tuning through the emulated hardware must win it back.
+    assert report.approx_accuracy_after > report.approx_accuracy_before, (
+        f"fine-tuning did not recover accuracy: "
+        f"{report.approx_accuracy_before:.3f} -> "
+        f"{report.approx_accuracy_after:.3f}"
+    )
+    assert report.recovered_points > 0.05
+
+    assert len(report.history) == report.epochs
+    # The training loss itself must go down over the run.
+    assert report.history.epochs[-1].loss < report.history.epochs[0].loss
+    # Sanity on the report plumbing.
+    assert report.multiplier_name == "mul8s_trunc2"
+    assert "recovered" in report.summary()
+
+
+def test_invalid_epoch_count_rejected():
+    with pytest.raises(ConfigurationError):
+        run_finetune_recovery(epochs=0)

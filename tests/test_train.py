@@ -1,0 +1,341 @@
+"""Tests of the training subsystem: losses, optimisers, schedules, trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import clear_caches
+from repro.datasets import generate_cifar_like
+from repro.errors import ConfigurationError, ShapeError
+from repro.graph import Graph, approximate_graph
+from repro.graph.ops import BatchNorm, Constant, Identity, MatMul, Placeholder
+from repro.models import build_simple_cnn
+from repro.multipliers import library
+from repro.train import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    SGD,
+    StepDecayLR,
+    Trainer,
+    one_hot,
+    softmax_cross_entropy,
+    trainable_constants,
+)
+
+
+class TestLosses:
+    def test_one_hot_encoding_and_validation(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ShapeError):
+            one_hot(np.array([[0, 1]]), 3)
+
+    def test_cross_entropy_value(self):
+        # Uniform logits over C classes => loss == log(C).
+        logits = np.zeros((5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(np.log(4.0))
+        assert grad.shape == logits.shape
+
+    def test_cross_entropy_gradient_matches_finite_difference(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([1, 4, 0])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for idx in np.ndindex(logits.shape):
+            lp, lm = logits.copy(), logits.copy()
+            lp[idx] += eps
+            lm[idx] -= eps
+            numeric = (softmax_cross_entropy(lp, labels)[0]
+                       - softmax_cross_entropy(lm, labels)[0]) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, abs=1e-8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 1, 2]))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+
+def _param(graph, value, name):
+    return Constant(graph, value, name=name)
+
+
+class TestOptimizers:
+    def test_sgd_plain_update(self):
+        graph = Graph("sgd")
+        w = _param(graph, np.array([1.0, -2.0]), "w")
+        opt = SGD([w], lr=0.1)
+        opt.step({w: np.array([0.5, -0.5])})
+        np.testing.assert_allclose(w.value, [0.95, -1.95])
+
+    def test_sgd_momentum_accumulates_velocity(self):
+        graph = Graph("sgd-m")
+        w = _param(graph, np.zeros(1), "w")
+        opt = SGD([w], lr=1.0, momentum=0.5)
+        opt.step({w: np.ones(1)})
+        np.testing.assert_allclose(w.value, [-1.0])     # v = 1
+        opt.step({w: np.ones(1)})
+        np.testing.assert_allclose(w.value, [-2.5])     # v = 1.5
+
+    def test_sgd_weight_decay(self):
+        graph = Graph("sgd-wd")
+        w = _param(graph, np.array([2.0]), "w")
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        opt.step({w: np.array([1.0])})
+        # g = 1 + 0.5 * 2 = 2  =>  w = 2 - 0.2
+        np.testing.assert_allclose(w.value, [1.8])
+
+    def test_missing_gradient_leaves_parameter_untouched(self):
+        graph = Graph("sgd-skip")
+        w = _param(graph, np.array([3.0]), "w")
+        other = _param(graph, np.array([4.0]), "other")
+        opt = SGD([w, other], lr=0.1, weight_decay=1.0)
+        opt.step({w: np.array([1.0])})
+        np.testing.assert_allclose(other.value, [4.0])
+
+    def test_zero_gradient_still_applies_decay_and_momentum(self):
+        # A zero batch gradient is a real gradient: weight decay keeps
+        # shrinking the parameter and momentum keeps coasting.
+        graph = Graph("sgd-zero")
+        w = _param(graph, np.array([2.0]), "w")
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        opt.step({w: np.zeros(1)})
+        np.testing.assert_allclose(w.value, [1.9])   # g = 0.5 * 2
+
+        v = _param(graph, np.array([0.0]), "v")
+        opt_m = SGD([v], lr=1.0, momentum=0.5)
+        opt_m.step({v: np.ones(1)})       # velocity = 1
+        opt_m.step({v: np.zeros(1)})      # coasts: velocity = 0.5
+        np.testing.assert_allclose(v.value, [-1.5])
+
+    def test_adam_first_step_is_lr_sized(self):
+        graph = Graph("adam")
+        w = _param(graph, np.zeros(3), "w")
+        opt = Adam([w], lr=0.01)
+        opt.step({w: np.array([1.0, -2.0, 0.5])})
+        # Bias correction makes the first step ~lr * sign(g).
+        np.testing.assert_allclose(
+            w.value, [-0.01, 0.01, -0.01], rtol=1e-5)
+
+    def test_configuration_validation(self):
+        graph = Graph("cfg")
+        w = _param(graph, np.zeros(1), "w")
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+        with pytest.raises(ConfigurationError):
+            SGD([w], lr=-1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([w], lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([w], lr=0.1, nesterov=True)
+        with pytest.raises(ConfigurationError):
+            Adam([w], lr=0.1, betas=(1.0, 0.999))
+        with pytest.raises(ConfigurationError):
+            SGD([Identity(graph, w)], lr=0.1)  # type: ignore[list-item]
+
+    def test_gradient_shape_mismatch_raises(self):
+        graph = Graph("shape")
+        w = _param(graph, np.zeros((2, 2)), "w")
+        opt = SGD([w], lr=0.1)
+        with pytest.raises(ConfigurationError):
+            opt.step({w: np.ones(3)})
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.1)(0) == ConstantLR(0.1)(99) == 0.1
+
+    def test_step_decay(self):
+        sched = StepDecayLR(1.0, step_size=2, gamma=0.1)
+        assert [sched(e) for e in range(5)] == pytest.approx(
+            [1.0, 1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        sched = CosineAnnealingLR(1.0, total_epochs=5, min_lr=0.2)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(4) == pytest.approx(0.2)
+        assert sched(2) == pytest.approx(0.6)
+        assert sched(99) == pytest.approx(0.2)   # clamped past the end
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepDecayLR(0.1, step_size=0)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealingLR(0.1, total_epochs=3, min_lr=0.5)
+
+
+class TestTrainableConstants:
+    def test_simple_cnn_parameters_found(self):
+        model = build_simple_cnn(input_size=8, seed=0)
+        names = {p.name for p in trainable_constants(model.graph, model.logits)}
+        assert names == {
+            "conv1/weights", "conv1/bias", "conv2/weights", "conv2/bias",
+            "conv3/weights", "conv3/bias", "fc/weights", "fc/bias",
+        }
+
+    def test_approximate_graph_keeps_filter_parameters(self):
+        model = build_simple_cnn(input_size=8, seed=0)
+        approximate_graph(model.graph, library.create("mul8s_exact"))
+        names = {p.name for p in trainable_constants(model.graph, model.logits)}
+        # Filter constants now feed AxConv2D (position 1) *and* the range
+        # probes, but they are still trainable.
+        assert "conv1/weights" in names and "fc/weights" in names
+
+    def test_batchnorm_statistics_are_excluded(self, rng):
+        graph = Graph("bn-params")
+        x = Placeholder(graph, (None, 4), name="x")
+        gamma = Constant(graph, np.ones(4), name="gamma")
+        beta = Constant(graph, np.zeros(4), name="beta")
+        mean = Constant(graph, np.zeros(4), name="mean")
+        var = Constant(graph, np.ones(4), name="var")
+        out = Identity(graph, BatchNorm(graph, x, gamma, beta, mean, var))
+        names = {p.name for p in trainable_constants(graph, out)}
+        assert names == {"gamma", "beta"}
+
+
+def _tiny_setup(seed=0, images=64, size=8):
+    model = build_simple_cnn(input_size=size, seed=seed)
+    split = generate_cifar_like(images, seed=seed + 1, image_size=size)
+    params = trainable_constants(model.graph, model.logits)
+    return model, split, params
+
+
+class TestTrainer:
+    def test_loss_decreases_on_accurate_graph(self):
+        model, split, params = _tiny_setup()
+        trainer = Trainer(model, SGD(params, lr=0.05, momentum=0.9),
+                          batch_size=16, seed=0)
+        history = trainer.fit(split, 3)
+        assert len(history) == 3
+        assert history.epochs[-1].loss < history.epochs[0].loss
+        assert history.final_accuracy > history.epochs[0].accuracy
+
+    def test_training_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            model, split, params = _tiny_setup()
+            trainer = Trainer(model, SGD(params, lr=0.05), batch_size=16,
+                              seed=7)
+            trainer.fit(split, 2)
+            results.append(params[0].value.copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_schedule_drives_learning_rate(self):
+        model, split, params = _tiny_setup()
+        sched = StepDecayLR(0.1, step_size=1, gamma=0.5)
+        trainer = Trainer(model, SGD(params, lr=0.9), schedule=sched,
+                          batch_size=32, seed=0)
+        history = trainer.fit(split.subset(32), 3)
+        assert [m.lr for m in history] == pytest.approx([0.1, 0.05, 0.025])
+
+    def test_evaluate_reports_loss_and_accuracy(self):
+        model, split, params = _tiny_setup()
+        trainer = Trainer(model, SGD(params, lr=0.05), batch_size=16)
+        loss, accuracy = trainer.evaluate(split)
+        assert loss > 0.0
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_validation_metrics_recorded(self):
+        model, split, params = _tiny_setup()
+        trainer = Trainer(model, SGD(params, lr=0.05), batch_size=16, seed=0)
+        history = trainer.fit(split.subset(32), 1,
+                              val_split=split.subset(16))
+        assert history.epochs[0].val_accuracy is not None
+        assert history.epochs[0].val_loss is not None
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        model, split, params = _tiny_setup()
+        trainer = Trainer(model, SGD(params, lr=0.05), batch_size=16, seed=0)
+        saved = {p.name: p.value.copy() for p in params}
+        path = trainer.save_checkpoint(tmp_path / "ckpt.npz")
+        trainer.fit(split.subset(32), 1)
+        assert any(
+            not np.array_equal(saved[p.name], p.value) for p in params)
+        restored = trainer.restore_checkpoint(path)
+        assert restored == len(params)
+        for p in params:
+            np.testing.assert_array_equal(p.value, saved[p.name])
+
+    def test_checkpoint_mismatch_rejected(self, tmp_path):
+        model, _, params = _tiny_setup()
+        trainer = Trainer(model, SGD(params, lr=0.05))
+        path = tmp_path / "bad.npz"
+        np.savez(path, **{"unrelated": np.zeros(3)})
+        with pytest.raises(ConfigurationError, match="does not match"):
+            trainer.restore_checkpoint(path)
+
+    def test_grad_clipping_bounds_update_magnitude(self):
+        model, split, params = _tiny_setup()
+        trainer = Trainer(model, SGD(params, lr=1.0), batch_size=16,
+                          grad_clip_norm=1e-9)
+        before = [p.value.copy() for p in params]
+        trainer.train_step(split.images[:16], split.labels[:16])
+        # With a vanishing clip norm the parameters barely move.
+        for prev, param in zip(before, params):
+            assert np.abs(param.value - prev).max() < 1e-8
+
+
+class TestTrainerCacheHygiene:
+    def _approx_setup(self):
+        clear_caches()
+        model = build_simple_cnn(input_size=8, seed=0)
+        approximate_graph(model.graph, library.create("mul8s_exact"))
+        split = generate_cifar_like(32, seed=5, image_size=8)
+        params = trainable_constants(model.graph, model.logits)
+        return model, split, params
+
+    def test_stale_filter_banks_are_invalidated_each_step(self):
+        model, split, params = self._approx_setup()
+        ax_nodes = model.graph.nodes_by_type("AxConv2D")
+        caches = {id(n.pipeline.filter_cache): n.pipeline.filter_cache
+                  for n in ax_nodes}
+        trainer = Trainer(model, SGD(params, lr=0.01), batch_size=16, seed=0)
+        trainer.fit(split, 2)
+        # Every optimiser step drops the bank of the weights it just
+        # superseded, so the caches never accumulate more than one live
+        # bank per approximate layer regardless of how many steps ran.
+        total_entries = sum(len(c) for c in caches.values())
+        assert total_entries <= len(ax_nodes)
+        invalidations = sum(c.stats.invalidations for c in caches.values())
+        misses = sum(c.stats.misses for c in caches.values())
+        assert invalidations == misses  # every created bank was retired
+
+        # Inference between updates reuses the live banks: the first
+        # evaluate builds one bank per layer, the second is all hits.
+        trainer.evaluate(split.subset(16))
+        before = sum(c.stats.hits for c in caches.values())
+        trainer.evaluate(split.subset(16))
+        assert sum(len(c) for c in caches.values()) == len(ax_nodes)
+        assert sum(c.stats.hits for c in caches.values()) \
+            == before + len(ax_nodes)
+        clear_caches()
+
+    def test_without_invalidation_stale_banks_accumulate(self):
+        model, split, params = self._approx_setup()
+        ax_nodes = model.graph.nodes_by_type("AxConv2D")
+        caches = {id(n.pipeline.filter_cache): n.pipeline.filter_cache
+                  for n in ax_nodes}
+        trainer = Trainer(model, SGD(params, lr=0.01), batch_size=16, seed=0,
+                          invalidate_stale_banks=False)
+        trainer.fit(split, 2)
+        total_entries = sum(len(c) for c in caches.values())
+        assert total_entries > len(ax_nodes)
+        clear_caches()
+
+    def test_reuse_caches_false_clears_between_steps(self):
+        model, split, params = self._approx_setup()
+        trainer = Trainer(model, SGD(params, lr=0.01), batch_size=16, seed=0,
+                          reuse_caches=False)
+        trainer.train_step(split.images[:16], split.labels[:16])
+        ax = model.graph.nodes_by_type("AxConv2D")[0]
+        # The step started from cleared caches, so every layer's first
+        # forward pass was a miss.
+        assert ax.pipeline.filter_cache.stats.hits == 0
+        clear_caches()
