@@ -18,7 +18,9 @@ self-contained Python library:
 * :mod:`repro.models`, :mod:`repro.datasets`, :mod:`repro.evaluation` -- the
   CIFAR ResNets, a synthetic CIFAR-10 stand-in and the experiment harness;
 * :mod:`repro.train` -- approximate-aware training: the STE backward pass,
-  optimisers, LR schedules and the fine-tuning loop.
+  optimisers, LR schedules and the fine-tuning loop;
+* :mod:`repro.dse` -- layer-wise multiplier design-space exploration: search
+  strategies, Pareto-front bookkeeping and the budgeted evaluation engine.
 """
 
 from . import (
@@ -26,6 +28,7 @@ from . import (
     conv,
     cpusim,
     datasets,
+    dse,
     evaluation,
     graph,
     gpusim,
@@ -69,4 +72,5 @@ __all__ = [
     "datasets",
     "evaluation",
     "train",
+    "dse",
 ]

@@ -74,6 +74,21 @@ class _BoundedCache:
         self._max_entries = max_entries
         self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
+        # Invalidation tombstones: builds run outside the lock, so an
+        # ``invalidate`` can land between a miss and its insert.  While any
+        # build is in flight, invalidated tokens are recorded here and the
+        # late insert is suppressed -- otherwise a pipeline thread could
+        # re-insert a bank the trainer just declared superseded (stale-entry
+        # race).  The set is cleared once no builds are in flight, so it
+        # never grows beyond the invalidations of one concurrent window.
+        self._inflight_builds = 0
+        self._tombstones: set = set()
+        # clear() epoch: a build that began before a clear() must not
+        # repopulate the emptied cache (a cold benchmark phase would see
+        # spurious warm hits), and wiping the tombstone set at clear() must
+        # not un-suppress an invalidated in-flight build -- the epoch check
+        # covers both.
+        self._clear_epoch = 0
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -83,9 +98,16 @@ class _BoundedCache:
         """Drop every entry and reset the hit/miss counters."""
         with self._lock:
             self._entries.clear()
+            self._tombstones.clear()
+            self._clear_epoch += 1
             self.stats = CacheStats()
 
-    def _get_or_build(self, key, build):
+    def _finish_build_locked(self) -> None:
+        self._inflight_builds -= 1
+        if self._inflight_builds == 0:
+            self._tombstones.clear()
+
+    def _get_or_build(self, key, build, *, token=None):
         with self._lock:
             if key in self._entries:
                 self.stats.hits += 1
@@ -94,14 +116,36 @@ class _BoundedCache:
                 # same layers every step) survive a stream of one-shot keys.
                 self._entries.move_to_end(key)
                 return self._entries[key]
+            self._inflight_builds += 1
+            epoch = self._clear_epoch
         # Build outside the lock: table construction can be expensive and
         # must not serialise unrelated lookups.  A racing duplicate build is
         # harmless (last writer wins; values for equal keys are equal).
-        value = build()
+        try:
+            value = build()
+        except BaseException:
+            with self._lock:
+                self._finish_build_locked()
+            raise
         with self._lock:
             # The lookup missed regardless of whether a racing thread
             # inserted the key meanwhile -- this caller paid for a build.
             self.stats.misses += 1
+            invalidated = token is not None and token in self._tombstones
+            cleared = self._clear_epoch != epoch
+            self._finish_build_locked()
+            if invalidated:
+                # The entry was invalidated while this build was in flight:
+                # hand the value to the caller (it is correct for the bytes
+                # that were hashed) but do not cache it, and evict any racing
+                # duplicate insert of the same superseded key.
+                self._entries.pop(key, None)
+                return value
+            if cleared:
+                # clear() ran mid-build: return the value without inserting,
+                # and leave any post-clear re-insert by a newer build alone
+                # (equal keys imply equal values).
+                return value
             if key not in self._entries:
                 self._entries[key] = value
                 while len(self._entries) > self._max_entries:
@@ -111,13 +155,20 @@ class _BoundedCache:
                 self._entries.move_to_end(key)
             return self._entries[key]
 
-    def _invalidate_where(self, predicate) -> int:
-        """Drop every entry whose key satisfies ``predicate``; returns count."""
+    def _invalidate_where(self, predicate, *, token=None) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count.
+
+        ``token`` identifies the invalidated entries to builds currently in
+        flight (see ``_get_or_build``), so a build racing this call cannot
+        re-insert a just-invalidated entry.
+        """
         with self._lock:
             stale = [key for key in self._entries if predicate(key)]
             for key in stale:
                 del self._entries[key]
             self.stats.invalidations += len(stale)
+            if token is not None and self._inflight_builds:
+                self._tombstones.add(token)
         return len(stale)
 
 
@@ -213,7 +264,7 @@ class FilterBankCache(_BoundedCache):
             (qrange.qmin, qrange.qmax), RoundMode.from_any(round_mode),
             _range_key(filter_range),
         )
-        return self._get_or_build(key, build)
+        return self._get_or_build(key, build, token=key[0])
 
     def invalidate(self, digest: str) -> int:
         """Drop every cached bank derived from the tensor with ``digest``.
@@ -225,7 +276,8 @@ class FilterBankCache(_BoundedCache):
         quantised bank is never served for recycled storage.  Returns the
         number of entries removed.
         """
-        return self._invalidate_where(lambda key: key[0] == digest)
+        return self._invalidate_where(
+            lambda key: key[0] == digest, token=digest)
 
 
 #: Default process-wide caches shared by :func:`repro.backends.emulate_conv2d`

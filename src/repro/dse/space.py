@@ -1,0 +1,238 @@
+"""The per-layer multiplier search space of an ALWANN-style exploration.
+
+A candidate accelerator configuration assigns one approximate multiplier (by
+:mod:`repro.multipliers.library` name) to every convolutional layer of a
+model.  :class:`SearchSpace` owns the two axes of that space -- the ordered
+list of assignable layers and the multiplier catalogue -- plus the candidate
+mechanics every strategy needs: validation, deterministic random sampling,
+single-gene mutation and uniform crossover.
+
+Candidates are plain tuples of multiplier names, one per layer in
+``space.layers`` order, so they are hashable (the evaluator memoises on
+them) and trivially serialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DSEError
+from ..graph.graph import Graph
+from ..graph.ops.conv import Conv2D
+from ..multipliers import library
+
+#: Candidate type: one library name per layer, in ``SearchSpace.layers`` order.
+Candidate = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Per-conv-layer multiplier catalogue of one exploration.
+
+    Parameters
+    ----------
+    layers:
+        Names of the assignable ``Conv2D`` layers, in graph order.
+    catalogue:
+        Library names of the candidate multipliers.  Every layer can receive
+        any catalogue entry, so the space has ``len(catalogue) **
+        len(layers)`` candidates.
+    """
+
+    layers: tuple[str, ...]
+    catalogue: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise DSEError("search space needs at least one assignable layer")
+        if not self.catalogue:
+            raise DSEError("search space needs a non-empty multiplier catalogue")
+        if len(set(self.layers)) != len(self.layers):
+            raise DSEError("search-space layers must be unique")
+        if len(set(self.catalogue)) != len(self.catalogue):
+            raise DSEError("search-space catalogue entries must be unique")
+        for name in self.catalogue:
+            if name not in library.available():
+                known = ", ".join(library.available())
+                raise DSEError(
+                    f"catalogue entry {name!r} is not a registered "
+                    f"multiplier; known multipliers: {known}"
+                )
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def for_graph(graph: Graph, catalogue: list[str] | None = None, *,
+                  bit_width: int | None = None,
+                  signed: bool | None = None) -> "SearchSpace":
+        """Search space over every ``Conv2D`` layer of ``graph``.
+
+        Without an explicit ``catalogue`` the whole multiplier library is
+        used, optionally restricted to one ``bit_width`` and/or signedness
+        (mixing signed and unsigned designs in one accelerator is legal for
+        the emulator but rarely what a hardware study wants).
+        """
+        layers = tuple(
+            node.name for node in graph.nodes_by_type(Conv2D.op_type))
+        if not layers:
+            raise DSEError(
+                f"graph {graph.name!r} has no Conv2D layers to assign "
+                "multipliers to (was it already transformed?)"
+            )
+        if catalogue is None:
+            catalogue = filter_catalogue(
+                library.available(), bit_width=bit_width, signed=signed)
+        elif bit_width is not None or signed is not None:
+            catalogue = filter_catalogue(
+                catalogue, bit_width=bit_width, signed=signed)
+        return SearchSpace(layers=layers, catalogue=tuple(catalogue))
+
+    @staticmethod
+    def for_model(model, catalogue: list[str] | None = None, *,
+                  bit_width: int | None = None,
+                  signed: bool | None = None) -> "SearchSpace":
+        """:meth:`for_graph` for model objects exposing ``.graph``."""
+        return SearchSpace.for_graph(
+            model.graph, catalogue, bit_width=bit_width, signed=signed)
+
+    # -- candidate mechanics --------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of distinct candidates in the space."""
+        return len(self.catalogue) ** len(self.layers)
+
+    def validate(self, candidate: Candidate) -> Candidate:
+        """Check shape and membership of ``candidate``; returns it unchanged."""
+        candidate = tuple(candidate)
+        if len(candidate) != len(self.layers):
+            raise DSEError(
+                f"candidate has {len(candidate)} gene(s) for "
+                f"{len(self.layers)} layer(s)"
+            )
+        for name in candidate:
+            if name not in self.catalogue:
+                raise DSEError(
+                    f"candidate multiplier {name!r} is not in the catalogue "
+                    f"({', '.join(self.catalogue)})"
+                )
+        return candidate
+
+    def assignment(self, candidate: Candidate) -> dict[str, str]:
+        """Layer→multiplier-name mapping of ``candidate`` (for the rewriter)."""
+        return dict(zip(self.layers, self.validate(candidate)))
+
+    def candidate(self, assignment: dict[str, str]) -> Candidate:
+        """Inverse of :meth:`assignment`: mapping back to a gene tuple."""
+        missing = sorted(set(self.layers) - set(assignment))
+        if missing:
+            raise DSEError(
+                f"assignment is missing layer(s): {', '.join(missing)}")
+        extra = sorted(set(assignment) - set(self.layers))
+        if extra:
+            raise DSEError(
+                f"assignment names layer(s) outside the space: "
+                f"{', '.join(extra)}"
+            )
+        return self.validate(tuple(assignment[layer] for layer in self.layers))
+
+    def uniform(self, multiplier: str) -> Candidate:
+        """The homogeneous candidate running ``multiplier`` in every layer."""
+        if multiplier not in self.catalogue:
+            raise DSEError(
+                f"multiplier {multiplier!r} is not in the catalogue "
+                f"({', '.join(self.catalogue)})"
+            )
+        return tuple(multiplier for _ in self.layers)
+
+    def random_candidate(self, rng: np.random.Generator) -> Candidate:
+        """Uniformly random candidate drawn from ``rng``."""
+        picks = rng.integers(0, len(self.catalogue), size=len(self.layers))
+        return tuple(self.catalogue[int(i)] for i in picks)
+
+    def mutate(self, candidate: Candidate, rng: np.random.Generator, *,
+               rate: float | None = None) -> Candidate:
+        """Point mutation: each gene resampled with probability ``rate``.
+
+        The default rate ``1/len(layers)`` changes one gene in expectation.
+        At least one gene is always resampled so mutation cannot be a no-op
+        draw (resampling may still pick the same name when the catalogue is
+        small -- that keeps the operator unbiased).
+        """
+        candidate = self.validate(candidate)
+        if rate is None:
+            rate = 1.0 / len(self.layers)
+        flags = rng.random(len(candidate)) < rate
+        if not flags.any():
+            flags[int(rng.integers(0, len(candidate)))] = True
+        genes = list(candidate)
+        for i, flip in enumerate(flags):
+            if flip:
+                genes[i] = self.catalogue[int(rng.integers(0, len(self.catalogue)))]
+        return tuple(genes)
+
+    def crossover(self, a: Candidate, b: Candidate,
+                  rng: np.random.Generator) -> Candidate:
+        """Uniform crossover: each gene from one parent with equal probability."""
+        a, b = self.validate(a), self.validate(b)
+        picks = rng.random(len(a)) < 0.5
+        return tuple(x if flag else y for x, y, flag in zip(a, b, picks))
+
+    def neighbours(self, candidate: Candidate, layer_index: int) -> list[Candidate]:
+        """Every candidate differing from ``candidate`` only at one layer."""
+        candidate = self.validate(candidate)
+        if not 0 <= layer_index < len(self.layers):
+            raise DSEError(
+                f"layer index {layer_index} outside [0, {len(self.layers)})")
+        out = []
+        for name in self.catalogue:
+            if name != candidate[layer_index]:
+                genes = list(candidate)
+                genes[layer_index] = name
+                out.append(tuple(genes))
+        return out
+
+    def all_candidates(self):
+        """Iterate every candidate of the space in deterministic order.
+
+        Only sensible for small spaces (the iterator has ``size`` elements);
+        the random strategy uses it to surface memoised results once a space
+        is fully explored.
+        """
+        from itertools import product
+        return product(self.catalogue, repeat=len(self.layers))
+
+    def describe(self) -> str:
+        """Multi-line summary used by the CLI's ``--dry-run``."""
+        lines = [
+            f"layers ({len(self.layers)}): {', '.join(self.layers)}",
+            f"catalogue ({len(self.catalogue)}): {', '.join(self.catalogue)}",
+            f"candidates: {len(self.catalogue)}^{len(self.layers)} "
+            f"= {self.size:,}",
+        ]
+        return "\n".join(lines)
+
+
+def filter_catalogue(names: list[str] | tuple[str, ...], *,
+                     bit_width: int | None = None,
+                     signed: bool | None = None) -> list[str]:
+    """Restrict library names to one bit width and/or signedness.
+
+    Instantiates each behavioural model (cheap: no table is built) to read
+    its ``bit_width`` / ``signed`` attributes, so the filter also validates
+    that every name is registered.
+    """
+    selected = []
+    for name in names:
+        multiplier = library.create(name)
+        if bit_width is not None and multiplier.bit_width != bit_width:
+            continue
+        if signed is not None and multiplier.signed != signed:
+            continue
+        selected.append(name)
+    if not selected:
+        raise DSEError(
+            "catalogue filter selected no multipliers "
+            f"(bit_width={bit_width}, signed={signed})"
+        )
+    return selected

@@ -47,3 +47,7 @@ class DeviceError(TFApproxError):
 
 class RegistryError(TFApproxError):
     """A named component (multiplier, op type) is unknown or already defined."""
+
+
+class DSEError(TFApproxError):
+    """A design-space exploration was configured or driven inconsistently."""

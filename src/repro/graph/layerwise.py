@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..backends.cache import DEFAULT_LUT_CACHE
 from ..errors import GraphError
 from ..lut.table import LookupTable
-from ..multipliers import library
 from ..multipliers.base import Multiplier
 from ..quantization.rounding import RoundMode
 from .graph import Graph
@@ -50,15 +50,16 @@ class LayerwiseReport:
 
 
 def _resolve(multiplier: "Multiplier | LookupTable | str") -> LookupTable:
-    if isinstance(multiplier, str):
-        multiplier = library.create(multiplier)
-    if isinstance(multiplier, Multiplier):
-        return LookupTable.from_multiplier(multiplier)
-    if isinstance(multiplier, LookupTable):
-        return multiplier
-    raise GraphError(
-        f"cannot interpret {multiplier!r} as a multiplier, LUT or library name"
-    )
+    if not isinstance(multiplier, (str, Multiplier, LookupTable)):
+        raise GraphError(
+            f"cannot interpret {multiplier!r} as a multiplier, LUT or "
+            "library name"
+        )
+    # Resolve through the process-wide LUT cache: a design-space search
+    # applies hundreds of assignments drawn from a small catalogue, and each
+    # distinct multiplier's 256x256 table should be built exactly once.
+    # Unknown library names raise RegistryError from the multiplier library.
+    return DEFAULT_LUT_CACHE.resolve(multiplier)
 
 
 def approximate_graph_layerwise(graph: Graph,
@@ -88,6 +89,13 @@ def approximate_graph_layerwise(graph: Graph,
     conv_names = {node.name for node in graph.nodes_by_type(Conv2D.op_type)}
     unknown = sorted(set(assignment) - conv_names)
     if unknown:
+        wrong_type = [name for name in unknown if name in graph]
+        if wrong_type:
+            kinds = ", ".join(
+                f"{name} ({graph.get(name).op_type})" for name in wrong_type)
+            raise GraphError(
+                f"assignment targets non-Conv2D node(s): {kinds}"
+            )
         raise GraphError(
             f"assignment references unknown Conv2D layers: {', '.join(unknown)}"
         )
@@ -95,17 +103,22 @@ def approximate_graph_layerwise(graph: Graph,
     report = LayerwiseReport()
 
     # Group layers by the LUT they should receive so each distinct multiplier
-    # needs only one transformation pass.
-    groups: dict[str, tuple[LookupTable, list[str]]] = {}
+    # needs only one transformation pass.  Group on the LUT instance, not its
+    # name: two behavioural models can share a display name (e.g. default
+    # TableMultiplier names) while holding different tables, and keying on
+    # the name would silently serve one multiplier's products for the other.
+    # Equal library names still coalesce because _resolve returns the cached
+    # instance.
+    groups: dict[int, tuple[LookupTable, list[str]]] = {}
     for layer, multiplier in assignment.items():
         lut = _resolve(multiplier)
-        key = lut.name
-        groups.setdefault(key, (lut, []))[1].append(layer)
+        groups.setdefault(id(lut), (lut, []))[1].append(layer)
     if default is not None:
         default_lut = _resolve(default)
         remaining = sorted(conv_names - set(assignment))
         if remaining:
-            groups.setdefault(default_lut.name, (default_lut, []))[1].extend(remaining)
+            groups.setdefault(
+                id(default_lut), (default_lut, []))[1].extend(remaining)
 
     for lut, layers in groups.values():
         wanted = set(layers)

@@ -179,6 +179,12 @@ def compute_coeffs(range_min: float, range_max: float, *,
         return QuantParams(1.0, zero_point, qrange, round_mode)
 
     scale = (range_max - range_min) / (qrange.qmax - qrange.qmin)
+    if scale == 0.0:
+        # A subnormal span (e.g. [0, 5e-324]) underflows to a zero scale when
+        # divided by the integer range; treat the tensor as degenerate like
+        # the all-zero case above instead of dividing by zero below.
+        zero_point = int(np.clip(0, qrange.qmin, qrange.qmax))
+        return QuantParams(1.0, zero_point, qrange, round_mode)
     # The zero-point is the (integer) quantised value that represents r == 0.
     zero_point_real = qrange.qmin - range_min / scale
     zero_point = int(round(zero_point_real))

@@ -2,11 +2,51 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.lut import LookupTable
 from repro.multipliers import ExactMultiplier, library
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden files under tests/golden/ with the "
+             "current CLI output instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def golden(request):
+    """Compare text against a golden file (or rewrite it with --update-golden).
+
+    ``golden(name, text)`` asserts that ``text`` equals
+    ``tests/golden/<name>.txt``; run ``pytest --update-golden`` to regenerate
+    the files after an intentional output change and commit the diff.
+    """
+    update = request.config.getoption("--update-golden")
+    directory = Path(__file__).parent / "golden"
+
+    def check(name: str, text: str) -> None:
+        path = directory / f"{name}.txt"
+        if update:
+            directory.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            return
+        assert path.exists(), (
+            f"golden file {path} is missing; run pytest --update-golden "
+            "to create it"
+        )
+        expected = path.read_text()
+        assert text == expected, (
+            f"output differs from golden file {path}; if the change is "
+            "intentional, run pytest --update-golden and commit the diff"
+        )
+
+    return check
 
 
 @pytest.fixture(scope="session")

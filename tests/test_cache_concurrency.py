@@ -1,0 +1,239 @@
+"""Concurrency tests of the backend caches (invalidate vs in-flight builds).
+
+The trainer invalidates superseded filter banks *while* the inference
+pipeline's thread pool may be resolving banks for concurrent forward passes.
+Builds intentionally run outside the cache lock, so an ``invalidate`` can
+land between a miss and its insert; without the tombstone logic in
+``_BoundedCache`` the late insert would resurrect the invalidated entry
+(stale-entry race).  These tests pin the fix deterministically and stress it
+with racing thread pools.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.backends import InferencePipeline
+from repro.backends.cache import FilterBankCache, LUTCache, PreparedFilterBank
+from repro.quantization.affine import SIGNED_8BIT
+from repro.quantization.rounding import RoundMode
+
+
+def _resolve(cache: FilterBankCache, filters: np.ndarray, build):
+    return cache.resolve(
+        filters, qrange=SIGNED_8BIT,
+        round_mode=RoundMode.HALF_AWAY_FROM_ZERO,
+        filter_range=None, build=build,
+    )
+
+
+def _bank(filters: np.ndarray) -> PreparedFilterBank:
+    # The tests only exercise cache mechanics; a bank stub is sufficient.
+    return PreparedFilterBank(
+        filter_q=None, flat_filters=filters.reshape(-1, filters.shape[-1]),
+        filter_sums=filters.sum(axis=(0, 1, 2)))
+
+
+class TestInvalidateVsInflightBuild:
+    def test_invalidate_during_build_suppresses_the_insert(self):
+        """Deterministic replay of the race the ISSUE names.
+
+        Thread A misses and starts building; the main thread invalidates the
+        digest while the build is in flight; A finishes.  The freshly built
+        value must be returned to A but *not* cached -- before the fix the
+        late insert resurrected the superseded bank.
+        """
+        cache = FilterBankCache()
+        rng = np.random.default_rng(0)
+        filters = rng.normal(size=(3, 3, 2, 4))
+        digest = FilterBankCache.content_digest(filters)
+
+        build_started = threading.Event()
+        invalidated = threading.Event()
+
+        def blocking_build() -> PreparedFilterBank:
+            build_started.set()
+            assert invalidated.wait(timeout=5.0)
+            return _bank(filters)
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_resolve, cache, filters, blocking_build)
+            assert build_started.wait(timeout=5.0)
+            cache.invalidate(digest)    # lands mid-build
+            invalidated.set()
+            result = future.result(timeout=5.0)
+
+        assert isinstance(result, PreparedFilterBank)
+        assert len(cache) == 0, "superseded bank was resurrected by the build"
+        # The next resolve must rebuild (a hit here would serve stale data).
+        fresh = _resolve(cache, filters, lambda: _bank(filters))
+        assert isinstance(fresh, PreparedFilterBank)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_invalidate_of_other_digest_does_not_suppress_insert(self):
+        cache = FilterBankCache()
+        rng = np.random.default_rng(1)
+        filters = rng.normal(size=(3, 3, 2, 4))
+        other = rng.normal(size=(3, 3, 2, 4))
+
+        build_started = threading.Event()
+        proceed = threading.Event()
+
+        def blocking_build() -> PreparedFilterBank:
+            build_started.set()
+            assert proceed.wait(timeout=5.0)
+            return _bank(filters)
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_resolve, cache, filters, blocking_build)
+            assert build_started.wait(timeout=5.0)
+            cache.invalidate(FilterBankCache.content_digest(other))
+            proceed.set()
+            future.result(timeout=5.0)
+
+        assert len(cache) == 1  # unrelated invalidation must not drop it
+        _resolve(cache, filters, lambda: pytest.fail("should be cached"))
+        assert cache.stats.hits == 1
+
+    def test_tombstones_are_cleared_once_builds_drain(self):
+        cache = FilterBankCache()
+        rng = np.random.default_rng(2)
+        filters = rng.normal(size=(3, 3, 2, 4))
+        digest = FilterBankCache.content_digest(filters)
+
+        build_started = threading.Event()
+        proceed = threading.Event()
+
+        def blocking_build() -> PreparedFilterBank:
+            build_started.set()
+            assert proceed.wait(timeout=5.0)
+            return _bank(filters)
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_resolve, cache, filters, blocking_build)
+            assert build_started.wait(timeout=5.0)
+            cache.invalidate(digest)
+            proceed.set()
+            future.result(timeout=5.0)
+
+        # No build in flight any more: the tombstone must not outlive the
+        # concurrent window and block future caching of the same digest.
+        _resolve(cache, filters, lambda: _bank(filters))
+        assert len(cache) == 1
+
+    def test_clear_during_build_suppresses_the_insert(self):
+        """A build that began before clear() must not repopulate the cache.
+
+        A cold benchmark phase calls clear() and expects the next resolve to
+        miss; a pre-clear build completing late must not smuggle its entry
+        (or a wiped tombstone's suppressed entry) back in.
+        """
+        cache = FilterBankCache()
+        rng = np.random.default_rng(5)
+        filters = rng.normal(size=(3, 3, 2, 4))
+        digest = FilterBankCache.content_digest(filters)
+
+        build_started = threading.Event()
+        proceed = threading.Event()
+
+        def blocking_build() -> PreparedFilterBank:
+            build_started.set()
+            assert proceed.wait(timeout=5.0)
+            return _bank(filters)
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_resolve, cache, filters, blocking_build)
+            assert build_started.wait(timeout=5.0)
+            # The nastier interleaving: an invalidation is tombstoned, then
+            # clear() wipes the tombstone set while the build is in flight.
+            cache.invalidate(digest)
+            cache.clear()
+            proceed.set()
+            result = future.result(timeout=5.0)
+
+        assert isinstance(result, PreparedFilterBank)
+        assert len(cache) == 0, "pre-clear build repopulated the cache"
+        before = cache.stats.snapshot()
+        _resolve(cache, filters, lambda: _bank(filters))
+        assert cache.stats.misses - before.misses == 1
+
+    def test_failed_build_releases_the_inflight_counter(self):
+        cache = FilterBankCache()
+        rng = np.random.default_rng(3)
+        filters = rng.normal(size=(3, 3, 2, 4))
+
+        def broken_build():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            _resolve(cache, filters, broken_build)
+        # The counter drained, so tombstones from a later invalidation would
+        # be dropped immediately and normal caching resumes.
+        _resolve(cache, filters, lambda: _bank(filters))
+        assert len(cache) == 1
+        assert cache._inflight_builds == 0
+
+
+class TestInvalidateStress:
+    def test_invalidators_racing_warm_convolutions(self):
+        """N threads invalidating while M threads run warm convolutions.
+
+        Every run must succeed (no KeyError from entry bookkeeping) and
+        produce bit-identical outputs regardless of how the invalidations
+        interleave with the pipeline's own filter-bank resolution.
+        """
+        lut_cache = LUTCache()
+        filter_cache = FilterBankCache()
+        pipeline = InferencePipeline(
+            "numpy", multiplier="mul8s_exact", chunk_size=2, max_workers=2,
+            lut_cache=lut_cache, filter_cache=filter_cache,
+        )
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(4, 8, 8, 3))
+        filters = rng.normal(size=(3, 3, 3, 4))
+        digest = FilterBankCache.content_digest(filters)
+        reference = pipeline.run(inputs, filters).output
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def invalidator() -> None:
+            while not stop.is_set():
+                try:
+                    filter_cache.invalidate(digest)
+                except BaseException as exc:  # pragma: no cover - fail path
+                    errors.append(exc)
+                    return
+
+        def runner() -> None:
+            try:
+                for _ in range(15):
+                    output = pipeline.run(inputs, filters).output
+                    assert np.array_equal(output, reference)
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        invalidators = [threading.Thread(target=invalidator) for _ in range(3)]
+        runners = [threading.Thread(target=runner) for _ in range(4)]
+        for thread in invalidators + runners:
+            thread.start()
+        for thread in runners:
+            thread.join(timeout=60.0)
+        stop.set()
+        for thread in invalidators:
+            thread.join(timeout=10.0)
+
+        assert not errors, errors
+        assert not any(t.is_alive() for t in invalidators + runners)
+        # The cache survived the storm in a consistent state: a final
+        # invalidate-then-resolve cycle rebuilds exactly once.
+        filter_cache.invalidate(digest)
+        before = filter_cache.stats.snapshot()
+        pipeline.run(inputs, filters)
+        delta_misses = filter_cache.stats.misses - before.misses
+        assert delta_misses == 1

@@ -1,0 +1,114 @@
+"""Error-path coverage: failures must raise specific `repro.errors` types.
+
+The ISSUE's hardening pass: misuse of the layer-wise transformation and the
+backend registry must surface as the documented :mod:`repro.errors`
+exception (with an actionable message), never as a bare ``KeyError`` /
+``TypeError`` leaking from an internal dictionary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.registry import (
+    ConvBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.errors import GraphError, RegistryError
+from repro.graph import approximate_graph_layerwise
+from repro.models import build_simple_cnn
+from repro.multipliers import library
+
+
+class TestLayerwiseErrorPaths:
+    def test_unknown_layer_name_raises_graph_error(self):
+        model = build_simple_cnn(seed=0)
+        with pytest.raises(GraphError, match="unknown Conv2D layers.*conv9"):
+            approximate_graph_layerwise(
+                model.graph, {"conv9": "mul8s_exact"})
+
+    def test_unknown_multiplier_name_raises_registry_error(self):
+        model = build_simple_cnn(seed=0)
+        with pytest.raises(RegistryError, match="unknown multiplier"):
+            approximate_graph_layerwise(
+                model.graph, {"conv1": "mul8s_does_not_exist"})
+
+    def test_non_conv2d_node_raises_graph_error(self):
+        model = build_simple_cnn(seed=0)
+        # "pool1" exists in the graph but is a MaxPool2D, not a Conv2D; the
+        # message must say so instead of claiming the layer is unknown.
+        with pytest.raises(GraphError,
+                           match=r"non-Conv2D node.*pool1 \(MaxPool2D\)"):
+            approximate_graph_layerwise(
+                model.graph, {"pool1": "mul8s_exact"})
+
+    def test_invalid_multiplier_value_raises_graph_error(self):
+        model = build_simple_cnn(seed=0)
+        with pytest.raises(GraphError, match="cannot interpret"):
+            approximate_graph_layerwise(model.graph, {"conv1": 3.14})
+
+    def test_unknown_default_multiplier_raises_registry_error(self):
+        model = build_simple_cnn(seed=0)
+        with pytest.raises(RegistryError, match="unknown multiplier"):
+            approximate_graph_layerwise(
+                model.graph, {"conv1": "mul8s_exact"}, default="mul8s_nope")
+
+
+class _DummyBackend(ConvBackend):
+    """Registrable stand-in backend (never executed)."""
+
+    name = "dummy"
+
+    def run_chunk(self, chunk, prepared, **kwargs):  # pragma: no cover
+        raise NotImplementedError
+
+
+class TestRegistryErrorPaths:
+    def test_unknown_backend_raises_registry_error(self):
+        with pytest.raises(RegistryError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_double_registration_raises_registry_error(self):
+        register_backend("dummy-double", _DummyBackend())
+        try:
+            with pytest.raises(RegistryError, match="already registered"):
+                register_backend("dummy-double", _DummyBackend())
+        finally:
+            unregister_backend("dummy-double")
+
+    def test_overwrite_flag_allows_re_registration(self):
+        register_backend("dummy-overwrite", _DummyBackend())
+        try:
+            register_backend("dummy-overwrite", _DummyBackend(),
+                             overwrite=True)
+            assert "dummy-overwrite" in available_backends()
+        finally:
+            unregister_backend("dummy-overwrite")
+
+    def test_unregister_unknown_raises_registry_error(self):
+        with pytest.raises(RegistryError, match="not registered"):
+            unregister_backend("never-registered")
+
+    def test_non_backend_registration_raises_registry_error(self):
+        with pytest.raises(RegistryError, match="must be a ConvBackend"):
+            register_backend("bogus", object())
+
+    def test_factory_returning_non_backend_raises_registry_error(self):
+        register_backend("bad-factory", lambda: object())
+        try:
+            with pytest.raises(RegistryError, match="not a ConvBackend"):
+                get_backend("bad-factory")
+        finally:
+            unregister_backend("bad-factory")
+
+    def test_unknown_multiplier_library_name_raises_registry_error(self):
+        with pytest.raises(RegistryError, match="unknown multiplier"):
+            library.create("mul8s_unobtainium")
+
+    def test_double_multiplier_registration_raises_registry_error(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            library.register(
+                "mul8s_exact", lambda: None)  # name taken by the defaults

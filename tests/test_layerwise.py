@@ -66,6 +66,31 @@ class TestLayerwiseApproximation:
         report = approximate_graph_layerwise(model.graph, assignment)
         assert report.converted_layers == 7
 
+    def test_same_named_multipliers_keep_distinct_tables(self):
+        """Grouping is by LUT instance, not display name.
+
+        Two behavioural models can share a default name while holding
+        different tables; each layer must still receive its own multiplier
+        (regression: name-keyed grouping silently merged them).
+        """
+        import numpy as np
+        from repro.multipliers import ExactMultiplier, TableMultiplier
+        from repro.graph.ops.conv import AxConv2D
+
+        exact_table = LookupTable.from_multiplier(
+            ExactMultiplier(8, signed=True)).dense()
+        zero_table = np.zeros_like(exact_table)
+        ta = TableMultiplier(exact_table, bit_width=8, signed=True)
+        tb = TableMultiplier(zero_table, bit_width=8, signed=True)
+        assert ta.name == tb.name  # the hazard under test
+
+        model = build_simple_cnn(seed=0)
+        approximate_graph_layerwise(model.graph, {"conv1": ta, "conv2": tb})
+        luts = {node.name: node.lut
+                for node in model.graph.nodes_by_type(AxConv2D.op_type)}
+        assert luts["conv1/approx"].lookup(3, 5) == 15
+        assert luts["conv2/approx"].lookup(3, 5) == 0
+
     def test_accepts_lookup_table_values(self):
         model = build_simple_cnn(seed=0)
         lut = LookupTable.from_multiplier(library.create("mul8s_trunc2"))

@@ -90,6 +90,15 @@ class TestComputeCoeffs:
         assert params.scale == 1.0
         assert params.quantize(np.zeros(3)).tolist() == [0, 0, 0]
 
+    def test_subnormal_range_does_not_underflow(self):
+        # A span so small that span / 255 underflows to 0.0 must fall back to
+        # the degenerate path instead of dividing by a zero scale
+        # (regression: hypothesis found values=[0.0, 5e-324]).
+        params = compute_coeffs(0.0, 5e-324, qrange=UNSIGNED_8BIT)
+        assert params.scale == 1.0
+        q = params.quantize(np.array([0.0, 5e-324]))
+        assert q.min() >= 0 and q.max() <= 255
+
     def test_invalid_ranges(self):
         with pytest.raises(QuantizationError):
             compute_coeffs(float("nan"), 1.0)
