@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Micro-batching emulation service on a small CNN, coalesced vs not.
+
+Reproduces: the serving-scale version of the paper's core argument.  The
+GPU implementation is fast because LUT and filter-bank setup is amortised
+over large GEMMs; a serving workload arrives as single-sample requests, so
+`repro.serve` rebuilds the large batches at the traffic level — compatible
+requests (same model, same multiplier configuration) coalesce into one batch
+under a latency deadline, incompatible ones never mix.
+
+The demo registers a small CNN, warms the LUT/filter-bank caches for two
+multiplier configurations, replays the same 64-request trace twice — with
+coalescing disabled (batch cap 1) and enabled (batch cap 32) — and prints
+both replay reports.  Expected output: matching per-request results (the
+sessions freeze quantisation ranges, so the emulated convolutions are
+bit-invariant to batch composition; only the final dense layer's BLAS GEMM
+may differ by ~1 ULP between batch shapes, so logits agree to ~1e-12 and
+predictions exactly) and a fuller batch-occupancy histogram for the
+coalesced run, plus the service telemetry showing the caches running hot
+after warm-up.
+
+Run:  python examples/serve_demo.py [--requests 64] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.models import build_simple_cnn
+from repro.serve import EmulationService, ServiceConfig, synthetic_trace
+
+#: One exact and one aggressive design: enough to exercise admission.
+MULTIPLIERS = ("mul8s_exact", "mul8s_mitchell")
+
+
+def replay(trace, *, batch_cap: int, workers: int) -> tuple[dict, object]:
+    """Replay ``trace`` on a fresh service; returns (outputs, report)."""
+    service = EmulationService(ServiceConfig(
+        max_batch_samples=batch_cap, max_delay_s=0.005, workers=workers))
+    service.register_model(
+        "simple_cnn", lambda: build_simple_cnn(input_size=16, seed=0),
+        calibration_samples=16)
+    service.warmup("simple_cnn", list(MULTIPLIERS))
+    spec = service.spec("simple_cnn")
+    handles = [
+        service.submit(request.model, request.materialize(spec.input_shape),
+                       request.multiplier, request_id=request.request_id)
+        for request in trace
+    ]
+    service.start()
+    outputs = {h.request_id: h.result(60.0).outputs for h in handles}
+    report = service.telemetry()
+    service.stop()
+    return outputs, report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    trace = synthetic_trace(
+        "simple_cnn", requests=args.requests, samples=1,
+        multipliers=MULTIPLIERS, seed=0)
+
+    print("== uncoalesced (batch cap 1) ==")
+    single_outputs, single = replay(trace, batch_cap=1, workers=args.workers)
+    print(single.summary())
+
+    print()
+    print("== coalesced (batch cap 32) ==")
+    batched_outputs, batched = replay(trace, batch_cap=32, workers=args.workers)
+    print(batched.summary())
+
+    max_diff = max(
+        float(np.max(np.abs(single_outputs[rid] - batched_outputs[rid])))
+        for rid in single_outputs)
+    agree = all(
+        np.array_equal(np.argmax(single_outputs[rid], axis=-1),
+                       np.argmax(batched_outputs[rid], axis=-1))
+        for rid in single_outputs)
+    print()
+    print(f"max |logit difference| across batch caps: {max_diff:.2e} "
+          "(frozen ranges keep the emulated conv path bit-invariant; the "
+          "residue is the dense layer's BLAS kernel choice)")
+    print(f"predictions identical: {agree}")
+    print(f"mean occupancy: {single.mean_occupancy:.1f} -> "
+          f"{batched.mean_occupancy:.1f} samples/batch")
+    return 0 if agree and max_diff < 1e-9 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

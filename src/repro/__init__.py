@@ -20,7 +20,9 @@ self-contained Python library:
 * :mod:`repro.train` -- approximate-aware training: the STE backward pass,
   optimisers, LR schedules and the fine-tuning loop;
 * :mod:`repro.dse` -- layer-wise multiplier design-space exploration: search
-  strategies, Pareto-front bookkeeping and the budgeted evaluation engine.
+  strategies, Pareto-front bookkeeping and the budgeted evaluation engine;
+* :mod:`repro.serve` -- the micro-batching emulation service: deadline-based
+  request coalescing, config-keyed admission and offline trace replay.
 """
 
 from . import (
@@ -36,6 +38,7 @@ from . import (
     models,
     multipliers,
     quantization,
+    serve,
     train,
 )
 from .backends import InferencePipeline, RunReport, emulate_conv2d
@@ -73,4 +76,5 @@ __all__ = [
     "evaluation",
     "train",
     "dse",
+    "serve",
 ]

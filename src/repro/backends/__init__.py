@@ -27,7 +27,13 @@ from .cache import (
     cache_stats,
     clear_caches,
 )
-from .pipeline import InferencePipeline, RunReport, RunResult, emulate_conv2d
+from .pipeline import (
+    InferencePipeline,
+    RunReport,
+    RunResult,
+    emulate_conv2d,
+    shared_pipeline,
+)
 from .registry import (
     ChunkResult,
     ConvBackend,
@@ -61,5 +67,6 @@ __all__ = [
     "emulate_conv2d",
     "get_backend",
     "register_backend",
+    "shared_pipeline",
     "unregister_backend",
 ]

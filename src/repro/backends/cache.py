@@ -54,13 +54,17 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
+        """Plain copy of the counters (see ``_BoundedCache.stats_snapshot``
+        for the lock-consistent way to take one from a live cache)."""
         return CacheStats(self.hits, self.misses, self.evictions,
                           self.invalidations)
 
@@ -93,6 +97,19 @@ class _BoundedCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats_snapshot(self) -> CacheStats:
+        """Consistent copy of the hit/miss counters, taken under the lock.
+
+        ``self.stats`` is mutated while the cache lock is held, so readers in
+        other threads (the serving telemetry, per-run cache deltas) must not
+        read its fields directly -- a read interleaved with an update can see
+        a half-applied state (e.g. a build's miss counted but its eviction
+        not yet).  This method is the race-free spelling: every counter in
+        the returned copy comes from the same locked instant.
+        """
+        with self._lock:
+            return self.stats.snapshot()
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
@@ -294,8 +311,8 @@ def clear_caches() -> None:
 
 
 def cache_stats() -> dict[str, CacheStats]:
-    """Snapshot the default caches' hit/miss counters."""
+    """Snapshot the default caches' hit/miss counters (lock-consistent)."""
     return {
-        "lut": DEFAULT_LUT_CACHE.stats.snapshot(),
-        "filters": DEFAULT_FILTER_CACHE.stats.snapshot(),
+        "lut": DEFAULT_LUT_CACHE.stats_snapshot(),
+        "filters": DEFAULT_FILTER_CACHE.stats_snapshot(),
     }

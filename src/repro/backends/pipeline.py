@@ -25,6 +25,7 @@ the recommended entry point for user code.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -103,6 +104,66 @@ class RunReport:
         if other.backend and not self.backend:
             self.backend = other.backend
 
+    def sliced(self, rows: int, total_rows: int) -> "RunReport":
+        """Pro-rated share of this report covering ``rows`` of ``total_rows``.
+
+        The serving layer executes one coalesced batch and hands every
+        request its own accounting; operation counts scale with the batch
+        dimension, so attributing ``rows / total_rows`` of each counter to a
+        request is exact for the data-proportional fields and a fair
+        apportionment for the per-batch ones (chunks, wall time, cache
+        deltas).  Integer counters round to the nearest integer.
+        """
+        if rows <= 0 or total_rows <= 0 or rows > total_rows:
+            raise ConfigurationError(
+                f"cannot slice {rows} row(s) out of a {total_rows}-row report")
+        fraction = rows / total_rows
+
+        def scale(value: int) -> int:
+            return int(round(value * fraction))
+
+        part = RunReport(
+            backend=self.backend,
+            lut_name=self.lut_name,
+            batch=rows,
+            chunks=scale(self.chunks),
+            chunk_size=self.chunk_size,
+            workers=self.workers,
+            wall_time_s=self.wall_time_s * fraction,
+            lut_cache=CacheStats(
+                hits=scale(self.lut_cache.hits),
+                misses=scale(self.lut_cache.misses),
+                evictions=scale(self.lut_cache.evictions),
+                invalidations=scale(self.lut_cache.invalidations),
+            ),
+            filter_cache=CacheStats(
+                hits=scale(self.filter_cache.hits),
+                misses=scale(self.filter_cache.misses),
+                evictions=scale(self.filter_cache.evictions),
+                invalidations=scale(self.filter_cache.invalidations),
+            ),
+            stats=ApproxConvStats(
+                lut_lookups=scale(self.stats.lut_lookups),
+                quantized_values=scale(self.stats.quantized_values),
+                dequantized_values=scale(self.stats.dequantized_values),
+                patch_matrix_bytes=scale(self.stats.patch_matrix_bytes),
+                output_values=scale(self.stats.output_values),
+                chunks=scale(self.stats.chunks),
+                macs=scale(self.stats.macs),
+            ),
+        )
+        if self.gpu is not None:
+            part.gpu = GPUConvRunReport(
+                chunks=scale(self.gpu.chunks),
+                kernel_launches=scale(self.gpu.kernel_launches),
+                texture_fetches=scale(self.gpu.texture_fetches),
+                atomic_adds=scale(self.gpu.atomic_adds),
+                shared_bytes=scale(self.gpu.shared_bytes),
+                patch_values=scale(self.gpu.patch_values),
+                lut_name=self.gpu.lut_name,
+            )
+        return part
+
     def summary(self) -> str:
         """Compact human-readable digest used by examples and benchmarks."""
         lines = [
@@ -164,6 +225,12 @@ class InferencePipeline:
         :func:`repro.conv.approx_conv2d.approx_conv2d`.
     lut_cache, filter_cache:
         Cache instances to use; default to the process-wide shared caches.
+
+    Thread safety: :meth:`run` / :meth:`prepare` / :meth:`conv2d` only read
+    the pipeline's configuration and go through the thread-safe caches, so
+    one pipeline instance may serve concurrent calls from many threads (the
+    serving layer does exactly that).  Mutating the configuration attributes
+    while calls are in flight is the one thing that is not synchronised.
     """
 
     def __init__(self, backend: str = "numpy", *,
@@ -249,8 +316,8 @@ class InferencePipeline:
             qrange: IntegerRange | None = None) -> RunResult:
         """Run one batched approximate convolution; returns output + report."""
         start_time = time.perf_counter()
-        lut_before = self.lut_cache.stats.snapshot()
-        filters_before = self.filter_cache.stats.snapshot()
+        lut_before = self.lut_cache.stats_snapshot()
+        filters_before = self.filter_cache.stats_snapshot()
 
         prepared = self.prepare(
             inputs, filters, multiplier,
@@ -285,8 +352,9 @@ class InferencePipeline:
             chunks=len(shards),
             chunk_size=self.chunk_size,
             workers=workers,
-            lut_cache=_cache_delta(self.lut_cache.stats, lut_before),
-            filter_cache=_cache_delta(self.filter_cache.stats, filters_before),
+            lut_cache=_cache_delta(self.lut_cache.stats_snapshot(), lut_before),
+            filter_cache=_cache_delta(
+                self.filter_cache.stats_snapshot(), filters_before),
         )
         for result in results:
             report.stats.merge(result.stats)
@@ -332,7 +400,7 @@ def emulate_conv2d(inputs: np.ndarray, filters: np.ndarray,
     >>> y = emulate_conv2d(x, w, "mul8u_drum4", backend="gpusim",
     ...                    report=my_report)                  # doctest: +SKIP
     """
-    pipeline = InferencePipeline(
+    pipeline = shared_pipeline(
         backend,
         chunk_size=chunk_size, max_workers=max_workers,
         round_mode=round_mode,
@@ -349,3 +417,45 @@ def emulate_conv2d(inputs: np.ndarray, filters: np.ndarray,
         report.chunk_size = result.report.chunk_size
         report.workers = result.report.workers
     return result.output
+
+
+_SHARED_PIPELINES: dict[tuple, InferencePipeline] = {}
+_SHARED_PIPELINES_LOCK = threading.Lock()
+
+
+def shared_pipeline(backend: str = "numpy", *,
+                    chunk_size: int = DEFAULT_CHUNK_SIZE,
+                    max_workers: int = 1,
+                    round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                    accumulator_bits: int | None = None,
+                    saturate: bool = False) -> InferencePipeline:
+    """Process-wide :class:`InferencePipeline` for one configuration.
+
+    Returns the same instance for equal configurations, so independent
+    callers share one thread-safe handle instead of constructing throwaway
+    pipelines -- :func:`emulate_conv2d` routes every call through here, and
+    user threads can hold a handle directly.  Shared pipelines always use
+    the default process-wide caches -- that is the point of sharing them --
+    and never carry a default multiplier, so callers state theirs per call
+    and cannot observe each other's.
+    """
+    key = (
+        backend, int(chunk_size), int(max_workers),
+        RoundMode.from_any(round_mode), accumulator_bits, bool(saturate),
+    )
+    with _SHARED_PIPELINES_LOCK:
+        # Re-resolve through the registry on every call: it raises for
+        # names that were unregistered meanwhile, and a cached pipeline
+        # holding a superseded backend instance (register_backend with
+        # overwrite=True) is rebuilt rather than served stale.
+        current = get_backend(backend)
+        pipeline = _SHARED_PIPELINES.get(key)
+        if pipeline is None or pipeline.backend is not current:
+            pipeline = InferencePipeline(
+                backend,
+                chunk_size=chunk_size, max_workers=max_workers,
+                round_mode=round_mode, accumulator_bits=accumulator_bits,
+                saturate=saturate,
+            )
+            _SHARED_PIPELINES[key] = pipeline
+        return pipeline

@@ -44,6 +44,7 @@ _MODELS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``tfapprox-dse`` argument parser (exposed for doc generation)."""
     parser = argparse.ArgumentParser(
         prog="tfapprox-dse",
         description="Layer-wise multiplier design-space exploration: search "

@@ -295,8 +295,8 @@ def search(model_builder, dataset, *,
     broker = EvaluationBroker(
         evaluator, budget=budget, max_workers=max_workers)
     rng = np.random.default_rng(seed)
-    lut_before = DEFAULT_LUT_CACHE.stats.snapshot()
-    filters_before = DEFAULT_FILTER_CACHE.stats.snapshot()
+    lut_before = DEFAULT_LUT_CACHE.stats_snapshot()
+    filters_before = DEFAULT_FILTER_CACHE.stats_snapshot()
     start = time.perf_counter()
     strategy.run(evaluator.space, broker, rng)
     wall = time.perf_counter() - start
@@ -311,8 +311,9 @@ def search(model_builder, dataset, *,
         front=broker.front,
         history=broker.history,
         space=evaluator.space,
-        lut_cache=_cache_delta(DEFAULT_LUT_CACHE.stats, lut_before),
-        filter_cache=_cache_delta(DEFAULT_FILTER_CACHE.stats, filters_before),
+        lut_cache=_cache_delta(DEFAULT_LUT_CACHE.stats_snapshot(), lut_before),
+        filter_cache=_cache_delta(
+            DEFAULT_FILTER_CACHE.stats_snapshot(), filters_before),
     )
     for result in broker.history:
         report.run_report.merge(result.report)

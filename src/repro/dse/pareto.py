@@ -21,7 +21,13 @@ from ..errors import DSEError
 
 @dataclass(frozen=True)
 class ParetoPoint:
-    """One scored candidate: its assignment and its two objective values."""
+    """One scored candidate: its assignment and its two objective values.
+
+    >>> better = ParetoPoint(accuracy=0.9, relative_energy=0.8)
+    >>> worse = ParetoPoint(accuracy=0.85, relative_energy=0.9)
+    >>> dominates(better, worse), dominates(worse, better)
+    (True, False)
+    """
 
     accuracy: float
     relative_energy: float
@@ -52,6 +58,7 @@ class ParetoPoint:
 
     @staticmethod
     def from_json(payload: dict) -> "ParetoPoint":
+        """Inverse of :meth:`to_json` (accuracy/energy/assignment keys)."""
         return ParetoPoint.from_assignment(
             payload["accuracy"], payload["relative_energy"],
             payload["assignment"],
@@ -150,6 +157,8 @@ class ParetoFront:
 
     @staticmethod
     def from_json(payload: list[dict]) -> "ParetoFront":
+        """Inverse of :meth:`to_json`; re-prunes, so any dominated entries
+        smuggled into the payload are dropped on load."""
         return ParetoFront([ParetoPoint.from_json(item) for item in payload])
 
 

@@ -39,6 +39,15 @@ class SearchSpace:
         Library names of the candidate multipliers.  Every layer can receive
         any catalogue entry, so the space has ``len(catalogue) **
         len(layers)`` candidates.
+
+    >>> space = SearchSpace(layers=("conv1", "conv2"),
+    ...                     catalogue=("mul8s_exact", "mul8s_mitchell"))
+    >>> space.size
+    4
+    >>> space.uniform("mul8s_mitchell")
+    ('mul8s_mitchell', 'mul8s_mitchell')
+    >>> space.assignment(("mul8s_exact", "mul8s_mitchell"))
+    {'conv1': 'mul8s_exact', 'conv2': 'mul8s_mitchell'}
     """
 
     layers: tuple[str, ...]

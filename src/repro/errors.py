@@ -51,3 +51,7 @@ class RegistryError(TFApproxError):
 
 class DSEError(TFApproxError):
     """A design-space exploration was configured or driven inconsistently."""
+
+
+class ServeError(TFApproxError):
+    """The emulation service was configured or used inconsistently."""

@@ -7,6 +7,7 @@ from .accuracy import (
     top_k_accuracy,
 )
 from .error_analysis import TensorErrorReport, per_layer_errors, tensor_error
+from .latency import LatencyStats
 from .finetune import (
     FineTuneRecoveryReport,
     distorted_split,
@@ -42,6 +43,7 @@ __all__ = [
     "TensorErrorReport",
     "tensor_error",
     "per_layer_errors",
+    "LatencyStats",
     "FineTuneRecoveryReport",
     "distorted_split",
     "run_finetune_recovery",

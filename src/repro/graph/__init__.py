@@ -11,11 +11,17 @@ from .graph import Graph
 from .layerwise import (
     LayerwiseReport,
     approximate_graph_layerwise,
+    assignment_key,
     uniform_assignment,
 )
 from .node import Node, OpContext, unbroadcast
 from .rewriter import count_op_types, remove_dead_nodes, replace_consumers
-from .transform import TransformReport, approximate_graph, restore_accurate_graph
+from .transform import (
+    TransformReport,
+    approximate_graph,
+    freeze_ranges,
+    restore_accurate_graph,
+)
 
 __all__ = [
     "Graph",
@@ -33,8 +39,10 @@ __all__ = [
     "count_op_types",
     "approximate_graph",
     "restore_accurate_graph",
+    "freeze_ranges",
     "TransformReport",
     "approximate_graph_layerwise",
+    "assignment_key",
     "uniform_assignment",
     "LayerwiseReport",
 ]

@@ -27,7 +27,7 @@ from ..quantization.affine import IntegerRange, SIGNED_8BIT, UNSIGNED_8BIT
 from ..quantization.rounding import RoundMode
 from .graph import Graph
 from .node import Node
-from .ops.basic import ReduceMax, ReduceMin
+from .ops.basic import Constant, ReduceMax, ReduceMin
 from .ops.conv import AxConv2D, Conv2D
 from .rewriter import replace_consumers
 
@@ -130,6 +130,80 @@ def approximate_graph(graph: Graph, multiplier_or_lut: Multiplier | LookupTable,
 
     graph.validate()
     return report
+
+
+def freeze_ranges(graph: Graph, feeds: dict, *, margin: float = 0.0) -> int:
+    """Replace the dynamic Min/Max range probes with calibrated constants.
+
+    The Fig. 1 transformation determines quantisation ranges "once per a
+    batch", which makes a sample's output depend on which batch it shares —
+    acceptable for offline evaluation, fatal for a serving layer that
+    coalesces concurrent requests into timing-dependent batches.  This pass
+    runs one calibration batch (``feeds``, keyed like
+    :meth:`~repro.graph.executor.Executor.run` feeds), reads every
+    ``ReduceMin``/``ReduceMax`` probe feeding an ``AxConv2D`` range slot and
+    replaces it with a :class:`~repro.graph.ops.basic.Constant` holding the
+    observed value.  Afterwards every sample's output is independent of the
+    rest of its batch (quantisation clips values outside the frozen range),
+    so a micro-batching service can coalesce freely without changing
+    results.
+
+    Parameters
+    ----------
+    graph:
+        A transformed graph (``AxConv2D`` nodes present), modified in place.
+    feeds:
+        Placeholder feeds of the calibration batch the ranges are read from.
+    margin:
+        Fractional widening of each *data* range (the input min/max pair):
+        a margin of ``0.1`` extends the observed span by 10% on both ends,
+        buying headroom for serving traffic slightly outside the calibration
+        distribution.  Filter ranges are exact (weights are constants) and
+        never widened.
+
+    Returns
+    -------
+    int
+        Number of range probes replaced by constants.
+    """
+    from .executor import Executor  # local import: executor imports this package
+
+    if margin < 0:
+        raise GraphError("margin must be non-negative")
+    ax_nodes = list(graph.nodes_by_type(AxConv2D.op_type))
+    if not ax_nodes:
+        raise GraphError(
+            f"graph {graph.name!r} has no AxConv2D layers; apply the Fig. 1 "
+            "transformation before freezing ranges"
+        )
+    dynamic: list[Node] = []
+    for ax in ax_nodes:
+        for probe in ax.inputs[2:6]:
+            if probe.op_type in (ReduceMin.op_type, ReduceMax.op_type):
+                if probe not in dynamic:
+                    dynamic.append(probe)
+    if not dynamic:
+        return 0
+
+    values = Executor(graph).run(dynamic, feeds)
+    observed = dict(zip(dynamic, values))
+
+    if margin:
+        for ax in ax_nodes:
+            low, high = ax.inputs[2], ax.inputs[3]
+            if low in observed and high in observed:
+                span = float(observed[high]) - float(observed[low])
+                observed[low] = observed[low] - margin * span
+                observed[high] = observed[high] + margin * span
+
+    frozen = 0
+    for probe, value in observed.items():
+        constant = Constant(graph, value, name=f"{probe.name}/frozen")
+        replace_consumers(graph, probe, constant)
+        graph.remove(probe)
+        frozen += 1
+    graph.validate()
+    return frozen
 
 
 def restore_accurate_graph(graph: Graph) -> int:

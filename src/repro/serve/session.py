@@ -1,0 +1,264 @@
+"""Model registration and per-configuration execution sessions.
+
+A :class:`ModelSpec` is what :meth:`EmulationService.register_model` stores:
+the deterministic builder, the input geometry probed from it once, and the
+calibration batch used to freeze quantisation ranges.  A
+:class:`ModelSession` is one *configuration* of a registered model — the
+graph transformed for one per-layer multiplier assignment, with its range
+probes frozen so a sample's output no longer depends on which micro-batch it
+shares (see :func:`repro.graph.freeze_ranges`).
+
+Sessions are built once per admission key and reused for every later
+request with that configuration; because every execution mutates per-node
+state (``AxConv2D`` statistics) and the executor is not reentrant, a session
+keeps a pool of independently built *replicas* — the builder's determinism
+contract (same weights on every call, the same contract the DSE evaluator
+relies on) makes all replicas bit-identical, so which replica serves a batch
+never changes the result.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..backends.cache import DEFAULT_FILTER_CACHE, DEFAULT_LUT_CACHE
+from ..backends.pipeline import RunReport, _cache_delta
+from ..datasets.cifar import normalize
+from ..errors import ServeError, TFApproxError
+from ..graph.executor import Executor
+from ..graph.layerwise import approximate_graph_layerwise
+from ..graph.ops.conv import AxConv2D, Conv2D
+from ..graph.transform import freeze_ranges
+from ..quantization.rounding import RoundMode
+from .request import AdmissionKey, admission_key, normalize_assignment
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One registered model: builder, probed geometry, calibration batch."""
+
+    name: str
+    builder: object
+    input_shape: tuple[int, int, int]
+    conv_layers: tuple[str, ...]
+    calibration: np.ndarray
+    normalize_inputs: bool = True
+
+    @staticmethod
+    def probe(name: str, builder, *, calibration: np.ndarray,
+              normalize_inputs: bool = True, model=None) -> "ModelSpec":
+        """Build the model once to read its input geometry and conv layers.
+
+        ``model`` lets a caller that already built one instance (e.g. to
+        synthesise calibration data matched to the input geometry) pass it
+        in instead of paying a second construction.
+        """
+        if model is None:
+            model = builder()
+        shape = getattr(model.input_node, "shape", None)
+        if shape is None or len(shape) != 4 or any(s is None for s in shape[1:]):
+            raise ServeError(
+                f"model {name!r} must declare a static (None, H, W, C) "
+                f"input shape, got {shape}"
+            )
+        conv_layers = tuple(
+            node.name for node in model.graph.nodes_by_type(Conv2D.op_type))
+        if not conv_layers:
+            raise ServeError(
+                f"model {name!r} has no Conv2D layers to emulate")
+        calibration = np.asarray(calibration, dtype=np.float64)
+        if calibration.ndim != 4 or calibration.shape[1:] != tuple(shape[1:]):
+            raise ServeError(
+                f"calibration batch shape {calibration.shape} does not match "
+                f"model input shape (N,{shape[1]},{shape[2]},{shape[3]})"
+            )
+        return ModelSpec(
+            name=name, builder=builder, input_shape=tuple(shape[1:]),
+            conv_layers=conv_layers, calibration=calibration,
+            normalize_inputs=normalize_inputs,
+        )
+
+    def check_inputs(self, inputs: np.ndarray) -> np.ndarray:
+        """Validate one request's input array against the model geometry."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4 or inputs.shape[1:] != self.input_shape:
+            raise ServeError(
+                f"inputs of shape {inputs.shape} do not match model "
+                f"{self.name!r} (N,{','.join(map(str, self.input_shape))})"
+            )
+        if inputs.shape[0] == 0:
+            raise ServeError("a request must carry at least one sample")
+        return inputs
+
+
+@dataclass
+class _Replica:
+    """One independently built copy of a session's transformed model."""
+
+    model: object
+    executor: Executor
+    ax_nodes: list
+
+
+class ModelSession:
+    """One (model, multiplier-assignment) configuration, ready to execute.
+
+    Parameters
+    ----------
+    spec:
+        The registered model.
+    assignment:
+        Full layer→library-name assignment (already normalised).
+    round_mode, chunk_size, range_margin:
+        Transformation parameters; the margin widens the frozen input ranges
+        beyond the calibration span (see :func:`repro.graph.freeze_ranges`).
+    max_replicas:
+        Upper bound on concurrently executing batches of this session —
+        normally the service's worker count.
+    """
+
+    def __init__(self, spec: ModelSpec, assignment: dict[str, str], *,
+                 round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                 chunk_size: int = 32,
+                 range_margin: float = 0.05,
+                 max_replicas: int = 1) -> None:
+        if max_replicas <= 0:
+            raise ServeError("max_replicas must be positive")
+        self.spec = spec
+        self.assignment = dict(assignment)
+        self.key: AdmissionKey = admission_key(spec.name, self.assignment)
+        self.round_mode = RoundMode.from_any(round_mode)
+        self.chunk_size = int(chunk_size)
+        self.range_margin = float(range_margin)
+        self.max_replicas = int(max_replicas)
+        self._idle: "queue.LifoQueue[_Replica]" = queue.LifoQueue()
+        self._built = 0
+        self._build_lock = threading.Lock()
+        # Build the first replica eagerly so configuration errors (unknown
+        # multiplier name, bad assignment) surface at session creation, not
+        # on some worker thread mid-batch.
+        self._idle.put(self._build_replica())
+        self._built = 1
+
+    # -- replica management ---------------------------------------------
+    def _calibration_feed(self) -> np.ndarray:
+        feed = self.spec.calibration
+        return normalize(feed) if self.spec.normalize_inputs else feed
+
+    def _build_replica(self) -> _Replica:
+        model = self.spec.builder()
+        approximate_graph_layerwise(
+            model.graph, dict(self.assignment),
+            round_mode=self.round_mode, chunk_size=self.chunk_size,
+        )
+        freeze_ranges(
+            model.graph, {model.input_node: self._calibration_feed()},
+            margin=self.range_margin,
+        )
+        ax_nodes = list(model.graph.nodes_by_type(AxConv2D.op_type))
+        return _Replica(model=model, executor=Executor(model.graph),
+                        ax_nodes=ax_nodes)
+
+    def _acquire(self) -> _Replica:
+        try:
+            return self._idle.get_nowait()
+        except queue.Empty:
+            pass
+        with self._build_lock:
+            if self._built < self.max_replicas:
+                self._built += 1
+                return self._build_replica()
+        return self._idle.get()
+
+    @property
+    def replicas(self) -> int:
+        """Replicas built so far (grows on demand up to ``max_replicas``)."""
+        return self._built
+
+    # -- execution -------------------------------------------------------
+    def run(self, inputs: np.ndarray) -> tuple[np.ndarray, RunReport]:
+        """Execute one coalesced batch; returns (logits, batch report).
+
+        Thread-safe up to ``max_replicas`` concurrent calls; outputs are
+        bit-identical no matter which replica serves the batch.
+        """
+        inputs = self.spec.check_inputs(inputs)
+        feed = normalize(inputs) if self.spec.normalize_inputs else inputs
+        replica = self._acquire()
+        try:
+            before = [replace(node.stats) for node in replica.ax_nodes]
+            # Cache counters are deltas of the process-wide caches over this
+            # batch's execution window: exact when one batch runs at a time
+            # (warmup, single worker), attributable-but-shared when batches
+            # overlap — the caches themselves are global, so is their heat.
+            lut_before = DEFAULT_LUT_CACHE.stats_snapshot()
+            filters_before = DEFAULT_FILTER_CACHE.stats_snapshot()
+            start = time.perf_counter()
+            logits = replica.executor.run(
+                replica.model.logits, {replica.model.input_node: feed})
+            wall = time.perf_counter() - start
+            report = RunReport(
+                backend="numpy",
+                batch=int(inputs.shape[0]),
+                chunk_size=self.chunk_size,
+                wall_time_s=wall,
+                lut_cache=_cache_delta(
+                    DEFAULT_LUT_CACHE.stats_snapshot(), lut_before),
+                filter_cache=_cache_delta(
+                    DEFAULT_FILTER_CACHE.stats_snapshot(), filters_before),
+            )
+            for node, snapshot in zip(replica.ax_nodes, before):
+                delta = replace(node.stats)
+                delta.lut_lookups -= snapshot.lut_lookups
+                delta.quantized_values -= snapshot.quantized_values
+                delta.dequantized_values -= snapshot.dequantized_values
+                delta.patch_matrix_bytes -= snapshot.patch_matrix_bytes
+                delta.output_values -= snapshot.output_values
+                delta.chunks -= snapshot.chunks
+                delta.macs -= snapshot.macs
+                report.stats.merge(delta)
+                report.chunks += delta.chunks
+                if not report.lut_name:
+                    report.lut_name = node.lut.name
+        finally:
+            self._idle.put(replica)
+        return logits, report
+
+    def warmup(self, samples: int = 4) -> RunReport:
+        """Run a small calibration slice to pre-populate the shared caches.
+
+        Session construction already resolves every assigned multiplier's
+        lookup table through the process-wide
+        :class:`~repro.backends.cache.LUTCache`; this warm run additionally
+        quantises each approximated layer's filter bank into the
+        :class:`~repro.backends.cache.FilterBankCache`, so the first real
+        request pays no setup at all.  Returns the warm run's batch report.
+        """
+        count = min(max(int(samples), 1), self.spec.calibration.shape[0])
+        _, report = self.run(self.spec.calibration[:count])
+        return report
+
+
+def build_session(spec: ModelSpec, multiplier: "str | dict[str, str]", *,
+                  round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
+                  chunk_size: int = 32, range_margin: float = 0.05,
+                  max_replicas: int = 1) -> ModelSession:
+    """Normalise ``multiplier`` against ``spec`` and build the session."""
+    assignment = normalize_assignment(multiplier, spec.conv_layers)
+    try:
+        return ModelSession(
+            spec, assignment,
+            round_mode=round_mode, chunk_size=chunk_size,
+            range_margin=range_margin, max_replicas=max_replicas,
+        )
+    except ServeError:
+        raise
+    except TFApproxError as exc:
+        raise ServeError(
+            f"cannot build session for model {spec.name!r}: {exc}"
+        ) from exc

@@ -27,14 +27,23 @@ class LRSchedule:
 
 
 class ConstantLR(LRSchedule):
-    """The base learning rate, every epoch."""
+    """The base learning rate, every epoch.
+
+    >>> ConstantLR(0.05)(7)
+    0.05
+    """
 
     def __call__(self, epoch: int) -> float:
         return self.base_lr
 
 
 class StepDecayLR(LRSchedule):
-    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs.
+
+    >>> schedule = StepDecayLR(0.1, step_size=2, gamma=0.1)
+    >>> [round(schedule(epoch), 4) for epoch in range(5)]
+    [0.1, 0.1, 0.01, 0.01, 0.001]
+    """
 
     def __init__(self, base_lr: float, *, step_size: int, gamma: float = 0.1
                  ) -> None:
@@ -56,6 +65,10 @@ class CosineAnnealingLR(LRSchedule):
     ``lr(e) = min_lr + (base_lr - min_lr) * (1 + cos(pi * e / (E - 1))) / 2``
     with ``E = total_epochs``; the first epoch runs at ``base_lr`` and the
     last at ``min_lr``.
+
+    >>> schedule = CosineAnnealingLR(1.0, total_epochs=3)
+    >>> [round(schedule(epoch), 3) for epoch in range(3)]
+    [1.0, 0.5, 0.0]
     """
 
     def __init__(self, base_lr: float, *, total_epochs: int,

@@ -90,6 +90,7 @@ class TrainHistory:
 
     @property
     def final_accuracy(self) -> float:
+        """Training accuracy of the last recorded epoch."""
         if not self.epochs:
             raise ConfigurationError("history is empty")
         return self.epochs[-1].accuracy
@@ -174,6 +175,7 @@ class Trainer:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> Graph:
+        """The trained model's graph."""
         return self.model.graph
 
     def _approx_nodes(self) -> list:

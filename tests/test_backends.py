@@ -412,3 +412,80 @@ class TestAxConv2DIntegration:
         second = node.compute(feeds)
         assert np.array_equal(second, expected)
         assert node.stats.lut_lookups == 2 * stats_after_first
+
+
+class TestSharedPipeline:
+    """The process-wide memoised pipeline handle (serving-era API)."""
+
+    def test_same_configuration_shares_one_instance(self):
+        from repro.backends import shared_pipeline
+
+        first = shared_pipeline("numpy", chunk_size=16)
+        second = shared_pipeline("numpy", chunk_size=16)
+        other = shared_pipeline("numpy", chunk_size=8)
+        assert first is second
+        assert first is not other
+        assert first.chunk_size == 16 and other.chunk_size == 8
+
+    def test_emulate_conv2d_routes_through_the_shared_handle(self):
+        from repro.backends import emulate_conv2d, shared_pipeline
+        from repro.backends.pipeline import _SHARED_PIPELINES
+
+        rng = np.random.default_rng(7)
+        inputs = rng.normal(size=(2, 6, 6, 2))
+        filters = rng.normal(size=(3, 3, 2, 4))
+        emulate_conv2d(inputs, filters, "mul8s_exact", chunk_size=5)
+        count = len(_SHARED_PIPELINES)
+        emulate_conv2d(inputs, filters, "mul8s_exact", chunk_size=5)
+        assert len(_SHARED_PIPELINES) == count  # memoised, not re-created
+        handle = shared_pipeline("numpy", chunk_size=5)
+        assert handle.multiplier is None  # callers never see a default
+
+    def test_concurrent_runs_on_one_handle_are_identical(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.backends import shared_pipeline
+
+        pipeline = shared_pipeline("numpy", chunk_size=4)
+        rng = np.random.default_rng(11)
+        inputs = rng.normal(size=(4, 8, 8, 2))
+        filters = rng.normal(size=(3, 3, 2, 4))
+        reference = pipeline.run(inputs, filters, "mul8s_mitchell").output
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outputs = list(pool.map(
+                lambda _: pipeline.run(
+                    inputs, filters, "mul8s_mitchell").output,
+                range(8)))
+        for output in outputs:
+            assert np.array_equal(output, reference)
+
+    def test_registry_changes_are_not_served_stale(self):
+        from repro.backends import shared_pipeline
+        from repro.errors import RegistryError
+
+        register_backend("tmp_shared", NumpyBackend())
+        try:
+            first = shared_pipeline("tmp_shared")
+            assert first.backend is get_backend("tmp_shared")
+            # Overwriting the registration must not serve the old instance.
+            replacement = NumpyBackend()
+            register_backend("tmp_shared", replacement, overwrite=True)
+            assert shared_pipeline("tmp_shared").backend is replacement
+        finally:
+            unregister_backend("tmp_shared")
+        # ...and an unregistered name raises instead of running stale.
+        with pytest.raises(RegistryError):
+            shared_pipeline("tmp_shared")
+
+    def test_sliced_scales_the_gpu_subreport(self):
+        from repro.gpusim.engine import GPUConvRunReport
+
+        report = RunReport(batch=4, gpu=GPUConvRunReport(
+            chunks=4, kernel_launches=8, texture_fetches=400,
+            atomic_adds=40, shared_bytes=4096, patch_values=400,
+            lut_name="mul8s_exact"))
+        part = report.sliced(1, 4)
+        assert part.gpu.kernel_launches == 2
+        assert part.gpu.texture_fetches == 100
+        assert part.gpu.shared_bytes == 1024
+        assert part.gpu.lut_name == "mul8s_exact"

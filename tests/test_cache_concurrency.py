@@ -237,3 +237,76 @@ class TestInvalidateStress:
         pipeline.run(inputs, filters)
         delta_misses = filter_cache.stats.misses - before.misses
         assert delta_misses == 1
+
+class TestStatsSnapshot:
+    """Regression: telemetry reads counters race-free via stats_snapshot().
+
+    ``CacheStats`` is mutated under the cache lock, so a reader that touches
+    the fields directly can interleave with a half-applied update (miss
+    counted, matching eviction not yet).  ``stats_snapshot`` copies every
+    counter under the lock; these tests pin the invariants a consistent
+    snapshot must satisfy while resolves hammer the cache.
+    """
+
+    def test_snapshot_invariants_under_concurrent_resolves(self):
+        cache = FilterBankCache(max_entries=4)
+        rng = np.random.default_rng(0)
+        banks = [rng.normal(size=(2, 2, 2, 3)) for _ in range(12)]
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def resolver(offset: int) -> None:
+            try:
+                for step in range(300):
+                    filters = banks[(step + offset) % len(banks)]
+                    _resolve(cache, filters, lambda f=filters: _bank(f))
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        snapshots = []
+
+        def observer() -> None:
+            try:
+                while not stop.is_set():
+                    snapshots.append(cache.stats_snapshot())
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        resolvers = [threading.Thread(target=resolver, args=(i,))
+                     for i in range(4)]
+        watcher = threading.Thread(target=observer)
+        watcher.start()
+        for thread in resolvers:
+            thread.start()
+        for thread in resolvers:
+            thread.join(timeout=60.0)
+        stop.set()
+        watcher.join(timeout=10.0)
+        snapshots.append(cache.stats_snapshot())
+
+        assert not errors, errors
+        assert snapshots
+        previous = None
+        for snapshot in snapshots:
+            # Counters only grow, and the derived properties hold on every
+            # lock-consistent copy.
+            assert snapshot.lookups == snapshot.hits + snapshot.misses
+            assert 0.0 <= snapshot.hit_rate <= 1.0
+            assert snapshot.evictions <= snapshot.misses
+            if previous is not None:
+                assert snapshot.hits >= previous.hits
+                assert snapshot.misses >= previous.misses
+                assert snapshot.evictions >= previous.evictions
+            previous = snapshot
+
+    def test_snapshot_matches_totals_at_quiescence(self):
+        cache = LUTCache()
+        cache.resolve("mul8s_exact")
+        cache.resolve("mul8s_exact")
+        cache.resolve("mul8s_trunc2")
+        snapshot = cache.stats_snapshot()
+        assert (snapshot.hits, snapshot.misses) == (1, 2)
+        # The snapshot is a copy, not a live view.
+        cache.resolve("mul8s_exact")
+        assert snapshot.hits == 1
+        assert cache.stats_snapshot().hits == 2

@@ -18,6 +18,7 @@ import pytest
 
 from repro.dse.cli import main_dse
 from repro.evaluation.cli import main_fig2, main_table1
+from repro.serve.cli import main_serve
 
 
 def run_cli(capsys, main, argv) -> str:
@@ -48,6 +49,27 @@ def test_dse_dry_run_resnet_stdout_matches_golden(capsys, golden):
                 ["--dry-run", "--model", "resnet8", "--strategy", "greedy",
                  "--budget", "12", "--seed", "3"]),
     )
+
+
+def test_serve_dry_run_stdout_matches_golden(capsys, golden):
+    golden("serve_dry_run", run_cli(capsys, main_serve, ["--dry-run"]))
+
+
+def test_serve_dry_run_custom_stdout_matches_golden(capsys, golden):
+    golden(
+        "serve_dry_run_custom",
+        run_cli(capsys, main_serve,
+                ["--dry-run", "--requests", "16", "--samples", "2",
+                 "--batch-cap", "8", "--deadline-ms", "2.5",
+                 "--workers", "4", "--multipliers", "mul8s_exact",
+                 "mul8s_udm"]),
+    )
+
+
+def test_serve_rejects_missing_trace_file(capsys):
+    assert main_serve(["--trace", "/nonexistent/trace.jsonl"]) == 2
+    out = capsys.readouterr().out
+    assert "error:" in out
 
 
 def test_dse_rejects_unknown_multiplier(capsys):
