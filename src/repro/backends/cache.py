@@ -32,8 +32,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
-
+from .. import xp
 from ..errors import ConfigurationError
 from ..lut.table import LookupTable
 from ..multipliers import library
@@ -242,8 +241,8 @@ class PreparedFilterBank:
     """Cached filter-side state: coefficients, flat quantised bank and ``Sf``."""
 
     filter_q: QuantParams
-    flat_filters: np.ndarray
-    filter_sums: np.ndarray
+    flat_filters: xp.ndarray
+    filter_sums: xp.ndarray
 
 
 class FilterBankCache(_BoundedCache):
@@ -260,22 +259,22 @@ class FilterBankCache(_BoundedCache):
         super().__init__(max_entries)
 
     @staticmethod
-    def content_digest(filters: np.ndarray) -> str:
+    def content_digest(filters: xp.ndarray) -> str:
         """Digest identifying a filter tensor's contents in the cache keys.
 
         The trainer records this before an optimiser step so it can
         :meth:`invalidate` every bank derived from the superseded weights.
         """
-        data = np.ascontiguousarray(filters)
+        data = xp.ascontiguousarray(filters)
         return hashlib.sha1(data.tobytes()).hexdigest()
 
-    def resolve(self, filters: np.ndarray, *,
+    def resolve(self, filters: xp.ndarray, *,
                 qrange: IntegerRange,
                 round_mode: RoundMode,
                 filter_range: TensorRange | tuple[float, float] | None,
                 build) -> PreparedFilterBank:
         """Return the prepared bank for ``filters``, building it on a miss."""
-        data = np.ascontiguousarray(filters)
+        data = xp.ascontiguousarray(filters)
         key = (
             self.content_digest(data), data.shape, str(data.dtype),
             (qrange.qmin, qrange.qmax), RoundMode.from_any(round_mode),

@@ -30,8 +30,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from .. import xp
 from ..conv.approx_conv2d import (
     DEFAULT_CHUNK_SIZE,
     ApproxConvStats,
@@ -189,7 +188,7 @@ class RunReport:
 class RunResult:
     """Output tensor plus the :class:`RunReport` of one pipeline run."""
 
-    output: np.ndarray
+    output: xp.ndarray
     report: RunReport
 
 
@@ -260,7 +259,7 @@ class InferencePipeline:
             filter_cache if filter_cache is not None else DEFAULT_FILTER_CACHE)
 
     # ------------------------------------------------------------------
-    def prepare(self, inputs: np.ndarray, filters: np.ndarray,
+    def prepare(self, inputs: xp.ndarray, filters: xp.ndarray,
                 multiplier: str | Multiplier | LookupTable | None = None, *,
                 input_range: TensorRange | tuple[float, float] | None = None,
                 filter_range: TensorRange | tuple[float, float] | None = None,
@@ -308,7 +307,7 @@ class InferencePipeline:
         )
 
     # ------------------------------------------------------------------
-    def run(self, inputs: np.ndarray, filters: np.ndarray,
+    def run(self, inputs: xp.ndarray, filters: xp.ndarray,
             multiplier: str | Multiplier | LookupTable | None = None, *,
             strides=(1, 1), dilations=(1, 1), padding: str = "SAME",
             input_range: TensorRange | tuple[float, float] | None = None,
@@ -363,18 +362,18 @@ class InferencePipeline:
                     report.gpu = GPUConvRunReport()
                 report.gpu.merge(result.gpu)
 
-        output = np.concatenate([result.output for result in results], axis=0)
+        output = xp.concatenate([result.output for result in results], axis=0)
         report.wall_time_s = time.perf_counter() - start_time
         return RunResult(output=output, report=report)
 
-    def conv2d(self, inputs: np.ndarray, filters: np.ndarray,
+    def conv2d(self, inputs: xp.ndarray, filters: xp.ndarray,
                multiplier: str | Multiplier | LookupTable | None = None,
-               **kwargs) -> np.ndarray:
+               **kwargs) -> xp.ndarray:
         """:meth:`run` without the report, for drop-in use."""
         return self.run(inputs, filters, multiplier, **kwargs).output
 
 
-def emulate_conv2d(inputs: np.ndarray, filters: np.ndarray,
+def emulate_conv2d(inputs: xp.ndarray, filters: xp.ndarray,
                    multiplier: str | Multiplier | LookupTable, *,
                    backend: str = "numpy",
                    strides=(1, 1), dilations=(1, 1), padding: str = "SAME",
@@ -386,7 +385,7 @@ def emulate_conv2d(inputs: np.ndarray, filters: np.ndarray,
                    max_workers: int = 1,
                    accumulator_bits: int | None = None,
                    saturate: bool = False,
-                   report: RunReport | None = None) -> np.ndarray:
+                   report: RunReport | None = None) -> xp.ndarray:
     """Emulate one approximate convolution through the backend registry.
 
     The single-call public API of the library: pick a multiplier (by library

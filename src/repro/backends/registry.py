@@ -34,8 +34,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
-
+from .. import xp
 from ..conv.approx_conv2d import (
     ApproxConvStats,
     PreparedConv,
@@ -51,7 +50,7 @@ from ..gpusim.engine import GPUConvRunReport, run_gpusim_chunk
 class ChunkResult:
     """Output of one backend chunk execution plus its accounting."""
 
-    output: np.ndarray
+    output: xp.ndarray
     stats: ApproxConvStats
     gpu: GPUConvRunReport | None = None
 
@@ -72,7 +71,7 @@ class ConvBackend(abc.ABC):
     name: str = "?"
 
     @abc.abstractmethod
-    def run_chunk(self, chunk: np.ndarray, prepared: PreparedConv, *,
+    def run_chunk(self, chunk: xp.ndarray, prepared: PreparedConv, *,
                   strides=(1, 1), dilations=(1, 1), padding: str = "SAME",
                   accumulator_bits: int | None = None,
                   saturate: bool = False) -> ChunkResult:
@@ -87,8 +86,8 @@ class ConvBackend(abc.ABC):
         return f"<ConvBackend {self.name!r}: {self.describe()}>"
 
 
-def _analytic_stats(chunk: np.ndarray, prepared: PreparedConv,
-                    output: np.ndarray) -> ApproxConvStats:
+def _analytic_stats(chunk: xp.ndarray, prepared: PreparedConv,
+                    output: xp.ndarray) -> ApproxConvStats:
     """Operation counts of one chunk, derived from the geometry.
 
     Backends that do not thread counters through their inner loops (the
@@ -110,9 +109,19 @@ def _analytic_stats(chunk: np.ndarray, prepared: PreparedConv,
 
 
 class NumpyBackend(ConvBackend):
-    """Vectorised im2col + LUT-GEMM engine (Algorithm 1, host NumPy)."""
+    """Vectorised im2col + LUT-GEMM engine (Algorithm 1, host NumPy).
+
+    ``kernel`` pins the LUT-GEMM kernel variant this instance dispatches to
+    (``"naive"``, ``"blocked"``, ``"numba"`` when available -- see
+    :func:`repro.conv.gemm.available_gemm_kernels`); ``None`` follows the
+    process-wide default.  The registered ``numba`` backend is exactly
+    ``NumpyBackend(kernel="numba")``: same im2col path, JIT inner loop.
+    """
 
     name = "numpy"
+
+    def __init__(self, kernel: str | None = None) -> None:
+        self.kernel = kernel
 
     def run_chunk(self, chunk, prepared, *, strides=(1, 1), dilations=(1, 1),
                   padding="SAME", accumulator_bits=None,
@@ -122,7 +131,7 @@ class NumpyBackend(ConvBackend):
             chunk, prepared,
             strides=strides, dilations=dilations, padding=padding,
             accumulator_bits=accumulator_bits, saturate=saturate,
-            stats=stats,
+            kernel=self.kernel, stats=stats,
         )
         return ChunkResult(output=output, stats=stats)
 
@@ -266,6 +275,12 @@ def available_backends() -> list[str]:
 def _register_defaults() -> None:
     for factory in (NumpyBackend, CpusimBackend, GpusimBackend):
         register_backend(factory.name, factory, overwrite=True)
+    # The JIT engine is the numpy backend with the numba LUT-GEMM kernel
+    # pinned; only registered when the capability probe finds the package,
+    # so `available_backends()` never advertises an engine that cannot run.
+    if xp.capabilities().get("numba"):  # pragma: no cover - numba CI leg only
+        register_backend(
+            "numba", lambda: NumpyBackend(kernel="numba"), overwrite=True)
 
 
 _register_defaults()

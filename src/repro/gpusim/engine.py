@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from .. import xp
 from ..conv.approx_conv2d import PreparedConv, prepare_conv2d, split_chunks
 from ..errors import ConfigurationError
 from ..lut.table import LookupTable
@@ -52,10 +51,10 @@ class GPUConvRunReport:
         self.per_chunk.extend(other.per_chunk)
 
 
-def run_gpusim_chunk(device: GPUDevice, chunk: np.ndarray,
+def run_gpusim_chunk(device: GPUDevice, chunk: xp.ndarray,
                      prepared: PreparedConv, *, strides=(1, 1),
                      dilations=(1, 1), padding: str = "SAME",
-                     ) -> tuple[np.ndarray, GPUConvRunReport]:
+                     ) -> tuple[xp.ndarray, GPUConvRunReport]:
     """Execute one chunk of Algorithm 1 on the simulated device.
 
     Launches the Im2Cols and ApproxGEMM kernels for a single chunk of a
@@ -107,14 +106,14 @@ class GPUConvolutionEngine:
         self.device = device if device is not None else GPUDevice()
         self.chunk_size = chunk_size
 
-    def approx_conv2d(self, inputs: np.ndarray, filters: np.ndarray,
+    def approx_conv2d(self, inputs: xp.ndarray, filters: xp.ndarray,
                       lut: LookupTable, *, strides=(1, 1), dilations=(1, 1),
                       padding: str = "SAME",
                       input_range: TensorRange | tuple[float, float] | None = None,
                       filter_range: TensorRange | tuple[float, float] | None = None,
                       qrange: IntegerRange = SIGNED_8BIT,
                       round_mode: RoundMode | str = RoundMode.HALF_AWAY_FROM_ZERO,
-                      report: GPUConvRunReport | None = None) -> np.ndarray:
+                      report: GPUConvRunReport | None = None) -> xp.ndarray:
         """Algorithm 1 on the simulated device; returns the NHWC float output."""
         # ComputeCoeffs + filter quantisation through the shared path.
         prepared = prepare_conv2d(
@@ -135,4 +134,4 @@ class GPUConvolutionEngine:
             outputs.append(output)
             report.merge(chunk_report)
 
-        return np.concatenate(outputs, axis=0)
+        return xp.concatenate(outputs, axis=0)

@@ -20,8 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ... import xp
 from ...conv.gemm import dequantize_gemm
 from ...errors import ShapeError
 from ...lut.table import LookupTable
@@ -37,16 +36,16 @@ GEMM_TILE = 16
 class GemmKernelResult:
     """Output of one simulated ApproxGEMM launch."""
 
-    output: np.ndarray
+    output: xp.ndarray
     launch: KernelLaunch
     texture_fetches: int
     shared_bytes: int
     flops: int
 
 
-def run_approx_gemm_kernel(device: GPUDevice, patches: np.ndarray,
-                           patch_sums: np.ndarray, filters: np.ndarray,
-                           filter_sums: np.ndarray, input_q: QuantParams,
+def run_approx_gemm_kernel(device: GPUDevice, patches: xp.ndarray,
+                           patch_sums: xp.ndarray, filters: xp.ndarray,
+                           filter_sums: xp.ndarray, input_q: QuantParams,
                            filter_q: QuantParams, lut: LookupTable,
                            ) -> GemmKernelResult:
     """Execute the simulated tiled LUT GEMM on one chunk's patch matrix.
@@ -54,8 +53,8 @@ def run_approx_gemm_kernel(device: GPUDevice, patches: np.ndarray,
     ``patches`` is ``[P, K]`` (quantised), ``filters`` is ``[K, F]``
     (quantised); the result is the dequantised ``[P, F]`` float output.
     """
-    patches = np.asarray(patches, dtype=np.int64)
-    filters = np.asarray(filters, dtype=np.int64)
+    patches = xp.asarray(patches, dtype=xp.int64)
+    filters = xp.asarray(filters, dtype=xp.int64)
     if patches.ndim != 2 or filters.ndim != 2:
         raise ShapeError("ApproxGEMM kernel expects 2D operands")
     if patches.shape[1] != filters.shape[0]:
@@ -78,7 +77,7 @@ def run_approx_gemm_kernel(device: GPUDevice, patches: np.ndarray,
 
     mask = (1 << lut.bit_width) - 1
     filter_bits = filters & mask
-    acc = np.zeros((num_patches, num_filters), dtype=np.int64)
+    acc = xp.zeros((num_patches, num_filters), dtype=xp.int64)
     k_tiles = -(-depth // GEMM_TILE)
     shared_bytes = 0
 

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ... import xp
 from ...conv.im2col import im2col_quantized
 from ...conv.padding import ConvGeometry
 from ...quantization.affine import QuantParams
@@ -34,15 +33,15 @@ IM2COLS_BLOCK_SIZE = 256
 class Im2ColsKernelResult:
     """Output of one simulated Im2Cols launch."""
 
-    patches: np.ndarray
-    patch_sums: np.ndarray
+    patches: xp.ndarray
+    patch_sums: xp.ndarray
     geometry: ConvGeometry
     launch: KernelLaunch
     atomic_adds: int
     shared_bytes: int
 
 
-def run_im2cols_kernel(device: GPUDevice, chunk: np.ndarray,
+def run_im2cols_kernel(device: GPUDevice, chunk: xp.ndarray,
                        kernel_height: int, kernel_width: int,
                        input_q: QuantParams, *, strides=(1, 1),
                        dilations=(1, 1), padding: str = "SAME",

@@ -29,6 +29,7 @@ from repro.backends import (
     unregister_backend,
 )
 from repro.conv import approx_conv2d, prepare_conv2d
+from repro.conv.gemm import available_gemm_kernels, lut_matmul
 from repro.errors import ConfigurationError, RegistryError
 from repro.graph import Graph
 from repro.graph.ops.basic import Constant
@@ -98,6 +99,93 @@ class TestBackendParity:
             assert np.array_equal(out.output, ref.output)
         assert ref.report.chunks == 7
         assert out.report.workers == 4
+
+
+#: Grid for the LUT-GEMM kernel-variant parity test: [P, K] x [K, F] shapes
+#: spanning tall/square/wide products plus panel-boundary remainders.
+GEMM_SHAPES = [
+    (7, 9, 5),       # remainders against every default block size
+    (64, 48, 16),    # exact block multiples
+    (130, 100, 33),  # spills one partial row panel and K panel
+]
+GEMM_MULTIPLIERS = ["mul8s_exact", "mul8s_mitchell", "mul8u_drum4"]
+
+
+class TestKernelVariantParity:
+    """Every registered LUT-GEMM kernel variant must agree bit for bit.
+
+    The grid crosses shapes x multipliers (signed and unsigned) x
+    accumulator dtype; ``naive`` is the reference.  When numba is installed
+    its JIT kernel joins the sweep through ``available_gemm_kernels()``
+    automatically, so the numba CI leg proves numba-vs-numpy parity with no
+    extra test code.
+    """
+
+    @pytest.mark.parametrize("shape", GEMM_SHAPES,
+                             ids=["remainder", "aligned", "spill"])
+    @pytest.mark.parametrize("multiplier", GEMM_MULTIPLIERS)
+    @pytest.mark.parametrize("compute_dtype", [np.int32, np.int64],
+                             ids=["acc32", "acc64"])
+    def test_all_kernels_bit_identical(self, shape, multiplier, compute_dtype):
+        p, k, f = shape
+        lut = LookupTable.from_multiplier(library.create(multiplier))
+        lo, hi = (-128, 128) if lut.signed else (0, 256)
+        rng = np.random.default_rng(p * 1000 + k)
+        patches = rng.integers(lo, hi, size=(p, k))
+        filters = rng.integers(lo, hi, size=(k, f))
+        reference = lut_matmul(patches, filters, lut, kernel="naive",
+                               compute_dtype=compute_dtype)
+        for name in available_gemm_kernels():
+            out = lut_matmul(patches, filters, lut, kernel=name,
+                             compute_dtype=compute_dtype)
+            assert out.dtype == np.int64
+            assert np.array_equal(out, reference), (
+                f"kernel {name!r} diverged from naive for {multiplier} "
+                f"at shape {shape}"
+            )
+
+    @pytest.mark.parametrize("block_rows,block_k",
+                             [(1, 1), (16, 7), (64, 48), (1024, 1024)])
+    def test_blocked_parity_across_block_sizes(self, block_rows, block_k):
+        lut = LookupTable.from_multiplier(library.create("mul8s_mitchell"))
+        rng = np.random.default_rng(42)
+        patches = rng.integers(-128, 128, size=(33, 29))
+        filters = rng.integers(-128, 128, size=(29, 11))
+        reference = lut_matmul(patches, filters, lut, kernel="naive")
+        out = lut_matmul(patches, filters, lut, kernel="blocked",
+                         block_rows=block_rows, block_k=block_k)
+        assert np.array_equal(out, reference)
+
+    @pytest.mark.skipif("numba" not in available_gemm_kernels(),
+                        reason="numba not installed")
+    def test_numba_conv_backend_matches_numpy(self):
+        """The registered numba ConvBackend is end-to-end bit-identical."""
+        inputs, filters, strides, padding = _case(SHAPES[0])
+        reference = emulate_conv2d(inputs, filters, "mul8s_mitchell",
+                                   strides=strides, padding=padding)
+        jit = emulate_conv2d(inputs, filters, "mul8s_mitchell",
+                             backend="numba", strides=strides, padding=padding)
+        assert np.array_equal(jit, reference)
+
+    def test_numba_backend_registered_iff_capability(self):
+        from repro import xp
+
+        assert ("numba" in available_backends()) == xp.capabilities()["numba"]
+
+    def test_pinned_kernel_backend_matches_default(self):
+        """A NumpyBackend pinned to any kernel variant keeps parity."""
+        inputs, filters, strides, padding = _case(SHAPES[0])
+        reference = emulate_conv2d(inputs, filters, "mul8s_exact",
+                                   strides=strides, padding=padding)
+        for kernel in ("naive", "blocked"):
+            register_backend(f"numpy_{kernel}", NumpyBackend(kernel=kernel))
+            try:
+                out = emulate_conv2d(inputs, filters, "mul8s_exact",
+                                     backend=f"numpy_{kernel}",
+                                     strides=strides, padding=padding)
+            finally:
+                unregister_backend(f"numpy_{kernel}")
+            assert np.array_equal(out, reference), kernel
 
 
 class TestRegistry:

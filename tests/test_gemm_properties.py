@@ -1,0 +1,214 @@
+"""Property suite for the LUT-GEMM kernels.
+
+Three families of invariants, mostly driven by hypothesis:
+
+* *blocking is invisible*: integer addition is associative, so no choice of
+  ``block_rows``/``block_k``/``tile_rows`` may change a single bit of the
+  result, for any operands;
+* *the exact LUT is a real GEMM*: with an exact-product table,
+  ``approx_gemm`` must equal the float GEMM of the same quantised operands
+  after dequantisation to within 1 ULP (both accumulate integers that are
+  exactly representable in float64);
+* *degenerate shapes are well-defined*: empty reduction (K=0), empty operand
+  panels (P=0 / F=0) and single-row products return the right shapes instead
+  of crashing.
+
+The flat-index dtype regression tests live here too: stitched indices span
+``2 * bit_width`` bits, so the 12-bit table no longer fits int16 indices and
+the 16-bit table no longer fits *signed* int32 -- the boundary
+:func:`repro.conv.gemm.flat_index_dtype` encodes and the blocked kernel's
+narrow index planes rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv.gemm import (
+    approx_gemm,
+    dequantize_gemm,
+    flat_index_dtype,
+    gemm_float,
+    lut_matmul,
+)
+from repro.errors import ConfigurationError
+from repro.lut import LookupTable
+from repro.multipliers import library
+from repro.quantization import compute_coeffs_from_tensor
+
+
+@pytest.fixture(scope="module")
+def mitchell_lut():
+    return LookupTable.from_multiplier(library.create("mul8s_mitchell"))
+
+
+@pytest.fixture(scope="module")
+def exact_lut():
+    return LookupTable.from_multiplier(library.create("mul8s_exact"))
+
+
+def _int_case(seed, p, k, f):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(-128, 128, size=(p, k)),
+            rng.integers(-128, 128, size=(k, f)))
+
+
+class TestBlockingInvariance:
+    """No tiling parameter may change a single output bit."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        p=st.integers(1, 40),
+        k=st.integers(1, 40),
+        f=st.integers(1, 12),
+        block_rows=st.integers(1, 48),
+        block_k=st.integers(1, 48),
+    )
+    def test_block_size_never_changes_results(self, mitchell_lut, seed, p, k,
+                                              f, block_rows, block_k):
+        patches, filters = _int_case(seed, p, k, f)
+        reference = lut_matmul(patches, filters, mitchell_lut, kernel="naive")
+        blocked = lut_matmul(patches, filters, mitchell_lut, kernel="blocked",
+                             block_rows=block_rows, block_k=block_k)
+        np.testing.assert_array_equal(blocked, reference)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        tile_rows=st.integers(1, 64),
+    )
+    def test_naive_tile_rows_never_changes_results(self, mitchell_lut, seed,
+                                                   tile_rows):
+        patches, filters = _int_case(seed, 23, 17, 5)
+        full = lut_matmul(patches, filters, mitchell_lut, kernel="naive",
+                          tile_rows=4096)
+        tiled = lut_matmul(patches, filters, mitchell_lut, kernel="naive",
+                           tile_rows=tile_rows)
+        np.testing.assert_array_equal(tiled, full)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        accumulator_bits=st.integers(12, 24),
+        saturate=st.booleans(),
+    )
+    def test_finite_accumulator_parity_across_kernels(self, exact_lut, seed,
+                                                      accumulator_bits,
+                                                      saturate):
+        """Wrap/saturate semantics are applied identically by every kernel."""
+        patches, filters = _int_case(seed, 9, 50, 4)
+        reference = lut_matmul(patches, filters, exact_lut, kernel="naive",
+                               accumulator_bits=accumulator_bits,
+                               saturate=saturate)
+        blocked = lut_matmul(patches, filters, exact_lut, kernel="blocked",
+                             accumulator_bits=accumulator_bits,
+                             saturate=saturate, block_rows=4, block_k=13)
+        np.testing.assert_array_equal(blocked, reference)
+
+
+class TestExactLutIsAGemm:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        p=st.integers(1, 24),
+        k=st.integers(1, 48),
+        f=st.integers(1, 8),
+    )
+    def test_approx_gemm_matches_gemm_float_within_one_ulp(self, exact_lut,
+                                                           seed, p, k, f):
+        """With an exact LUT the emulated GEMM *is* a GEMM.
+
+        The integer accumulators and every partial float sum stay far below
+        2**53, so the float GEMM of the quantised operands is exact and the
+        two paths feed identical values into the dequantisation -- the
+        results may differ by rounding of the correction arithmetic only,
+        i.e. at most 1 ULP.
+        """
+        rng = np.random.default_rng(seed)
+        patches, filters = _int_case(seed, p, k, f)
+        input_q = compute_coeffs_from_tensor(rng.normal(size=8))
+        filter_q = compute_coeffs_from_tensor(rng.normal(size=8))
+        patch_sums = patches.sum(axis=1)
+        filter_sums = filters.sum(axis=0)
+
+        approx = approx_gemm(patches, patch_sums, filters, filter_sums,
+                             input_q, filter_q, exact_lut)
+        reference = dequantize_gemm(
+            gemm_float(patches, filters), patch_sums, filter_sums, k,
+            input_q, filter_q)
+        np.testing.assert_array_max_ulp(approx, reference, maxulp=1)
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("kernel", ["naive", "blocked"])
+    @pytest.mark.parametrize("p,k,f", [
+        (5, 0, 3),    # empty reduction: a well-defined all-zero product
+        (0, 7, 3),    # no patches
+        (5, 7, 0),    # no filters
+        (1, 1, 1),    # single-element product
+        (1, 300, 1),  # single row, deep reduction
+    ])
+    def test_degenerate_shapes_return_correct_zeros(self, exact_lut, kernel,
+                                                    p, k, f):
+        rng = np.random.default_rng(k)
+        patches = rng.integers(-128, 128, size=(p, k))
+        filters = rng.integers(-128, 128, size=(k, f))
+        out = lut_matmul(patches, filters, exact_lut, kernel=kernel)
+        assert out.shape == (p, f)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, patches @ filters)
+
+    def test_empty_reduction_through_approx_gemm(self, exact_lut):
+        """K=0 flows through dequantisation without dividing by the depth."""
+        rng = np.random.default_rng(0)
+        input_q = compute_coeffs_from_tensor(rng.normal(size=4))
+        filter_q = compute_coeffs_from_tensor(rng.normal(size=4))
+        patches = np.zeros((3, 0), dtype=np.int64)
+        filters = np.zeros((0, 2), dtype=np.int64)
+        out = approx_gemm(patches, np.zeros(3), filters, np.zeros(2),
+                          input_q, filter_q, exact_lut)
+        assert out.shape == (3, 2)
+        assert np.all(np.isfinite(out))
+
+
+class TestFlatIndexDtype:
+    """Stitched-index width boundaries (the latent-overflow regression)."""
+
+    def test_boundaries(self):
+        assert flat_index_dtype(8) is np.int32     # 16-bit index
+        assert flat_index_dtype(12) is np.int32    # 24 bits: > int16, fits int32
+        assert flat_index_dtype(15) is np.int32    # 30 bits: last int32 width
+        assert flat_index_dtype(16) is np.int64    # 32 bits: signed int32 fails
+
+    def test_rejects_widths_outside_table_range(self):
+        with pytest.raises(ConfigurationError):
+            flat_index_dtype(1)
+        with pytest.raises(ConfigurationError):
+            flat_index_dtype(17)
+
+    def test_12bit_lut_blocked_kernel_regression(self):
+        """End-to-end at the boundary width: 12-bit stitched indices span 24
+        bits, silently wrapping in any int16 index plane; the blocked kernel
+        must still match the all-int64 naive path bit for bit."""
+        n = 1 << 12
+        ops = np.arange(n, dtype=np.int64)
+        table = np.multiply.outer(ops, ops).astype(np.int32)
+        lut = LookupTable(table, bit_width=12, signed=False, name="mul12u_exact")
+        assert lut.flat.dtype == np.int32          # wide products: 32-bit storage
+
+        rng = np.random.default_rng(12)
+        patches = rng.integers(0, n, size=(9, 7))
+        # Include the extreme operands whose stitched index is the table's
+        # last entry -- the first value an overflowing index plane corrupts.
+        patches[0, :] = n - 1
+        filters = rng.integers(0, n, size=(7, 4))
+        filters[:, 0] = n - 1
+
+        naive = lut_matmul(patches, filters, lut, kernel="naive")
+        blocked = lut_matmul(patches, filters, lut, kernel="blocked",
+                             block_rows=4, block_k=3)
+        np.testing.assert_array_equal(blocked, naive)
+        np.testing.assert_array_equal(blocked, patches @ filters)
